@@ -1,0 +1,125 @@
+"""Figure 12: the effect of fusion granularity across all four model classes.
+
+Paper shape:
+
+* SAE — full fusion ~1.94x, partial ~1.01x (layer-dominated by the SpMM);
+* GCN — partial fusion best (up to ~2.6x on collab); full fusion degrades
+  (recomputation of layer-1 activations);
+* GraphSAGE — partial best (up to ~3.9x on mag); full degrades;
+* GPT-3 w/ BigBird — full fusion best (~2.7x), growing with block size.
+
+Every configuration is functionally verified against the dense reference.
+"""
+
+import pytest
+
+from bench_common import BALANCED_MACHINE, cached, fusion_sweep, print_figure
+from repro.data.registry import GRAPH_DATASETS, SAE_DATASETS, graph_dataset, sae_dataset
+from repro.models.gcn import build_gcn
+from repro.models.gpt3 import build_gpt3
+from repro.models.graphsage import build_graphsage
+from repro.models.sae import build_sae
+
+GCN_DATASETS = ["cora", "cora_ml", "dblp", "collab", "mag"]
+GPT3_BLOCKS = [4, 8, 16]
+
+
+@cached
+def sae_series():
+    out = {}
+    for name in SAE_DATASETS:
+        entry, x = sae_dataset(name)
+        bundle = build_sae(x, seed=entry.seed)
+        _, speedups = fusion_sweep(bundle, BALANCED_MACHINE)
+        out[name] = speedups
+    return out
+
+
+@cached
+def graph_series(model: str):
+    builder = build_gcn if model == "gcn" else build_graphsage
+    out = {}
+    for name in GCN_DATASETS:
+        entry, adj, feats = graph_dataset(name)
+        bundle = builder(adj, feats, hidden=8, classes=4, seed=entry.seed)
+        _, speedups = fusion_sweep(bundle, BALANCED_MACHINE)
+        out[name] = speedups
+    return out
+
+
+@cached
+def gpt3_series():
+    out = {}
+    for block in GPT3_BLOCKS:
+        bundle = build_gpt3(seq_len=64, d_model=16, block=block, n_layers=2, seed=31)
+        _, speedups = fusion_sweep(bundle, BALANCED_MACHINE)
+        out[block] = speedups
+    return out
+
+
+def _rows(series):
+    return [
+        [str(key), f"{s['unfused']:.2f}x", f"{s['partial']:.2f}x", f"{s['full']:.2f}x"]
+        for key, s in series.items()
+    ]
+
+
+HEADER = ["dataset", "unfused", "partially fused", "fully fused"]
+
+
+def _assert_partial_beats_full(series):
+    """Paper shape for graph models: partial fusion helps everywhere; full
+    fusion degrades on most datasets (severely on the large collab/mag-like
+    graphs), so partial remains the right granularity."""
+    for name, s in series.items():
+        assert s["partial"] > 1.3, f"{name}: partial fusion should help"
+    degraded = [name for name, s in series.items() if s["full"] < s["partial"]]
+    assert len(degraded) >= 3, f"full fusion should degrade most datasets: {series}"
+    assert any(s["full"] < 1.0 for s in series.values()), (
+        "full fusion should slow down at least one dataset"
+    )
+
+
+def test_fig12_sae(benchmark):
+    series = sae_series()
+    print_figure("Figure 12 (SAE): fusion speedups over unfused", _rows(series), HEADER)
+    for name, s in series.items():
+        assert s["full"] > 1.2, f"{name}: full fusion should win for SAE"
+        assert s["full"] > s["partial"], name
+    entry, x = sae_dataset("imagenet")
+    bundle = build_sae(x, seed=entry.seed)
+    benchmark(lambda: fusion_sweep(bundle, BALANCED_MACHINE))
+
+
+def test_fig12_gcn(benchmark):
+    series = graph_series("gcn")
+    print_figure("Figure 12 (GCN): fusion speedups over unfused", _rows(series), HEADER)
+    _assert_partial_beats_full(series)
+    entry, adj, feats = graph_dataset("cora")
+    bundle = build_gcn(adj, feats, hidden=8, classes=4, seed=entry.seed)
+    benchmark(lambda: fusion_sweep(bundle, BALANCED_MACHINE))
+
+
+def test_fig12_graphsage(benchmark):
+    series = graph_series("graphsage")
+    print_figure(
+        "Figure 12 (GraphSAGE): fusion speedups over unfused", _rows(series), HEADER
+    )
+    _assert_partial_beats_full(series)
+    entry, adj, feats = graph_dataset("cora")
+    bundle = build_graphsage(adj, feats, hidden=8, classes=4, seed=entry.seed)
+    benchmark(lambda: fusion_sweep(bundle, BALANCED_MACHINE))
+
+
+def test_fig12_gpt3(benchmark):
+    series = gpt3_series()
+    print_figure(
+        "Figure 12 (GPT-3 w/ BigBird): fusion speedups over unfused",
+        _rows(series),
+        ["block size"] + HEADER[1:],
+    )
+    for block, s in series.items():
+        assert s["full"] > 1.2, f"block {block}"
+        assert s["full"] >= s["partial"] * 0.95, f"block {block}"
+    bundle = build_gpt3(seq_len=64, d_model=16, block=8, n_layers=1, seed=31)
+    benchmark(lambda: fusion_sweep(bundle, BALANCED_MACHINE))

@@ -1,0 +1,66 @@
+"""Figure 13: simulator vs FPGA latency correlation (paper Section 8.2).
+
+The paper validates Comal against post-synthesis RTL simulation of a Xilinx
+VU9P design, reporting R^2 = 0.991 over per-kernel latencies of GCN,
+GraphSAGE, and GPT-3 kernels small enough to stay in BRAM.  Here the FPGA
+is the independently parameterized FPGA_MACHINE timing table; the
+correlation is computed over the unfused kernels of all three models on
+KarateClub-scale inputs (log-normalized, as the paper's figure is log-log).
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import cached, print_figure
+from repro.comal import FPGA_MACHINE, RDA_MACHINE, run_timed
+from repro.data.graphs import node_features, synthetic_graph, weighted_adjacency
+from repro.models.gcn import build_gcn
+from repro.models.gpt3 import build_gpt3
+from repro.models.graphsage import build_graphsage
+from repro.pipeline import compile_program, execute
+
+
+def _kernel_latencies(bundle, machine):
+    compiled = compile_program(bundle.program, bundle.schedule("unfused"))
+    result = execute(compiled, bundle.binding, machine)
+    return [r.cycles for r in result.region_results]
+
+
+@cached
+def correlation():
+    rng = np.random.default_rng(0)
+    # KarateClub-like graph: 34 nodes (paper Section 8.2).
+    adj = weighted_adjacency(synthetic_graph(34, 0.12, "powerlaw", 42), rng)
+    feats = node_features(34, 6, seed=43)
+    bundles = [
+        ("GCN", build_gcn(adj, feats, hidden=6, classes=3, seed=1)),
+        ("GraphSAGE", build_graphsage(adj, feats, hidden=6, classes=3, seed=2)),
+        ("GPT-3", build_gpt3(seq_len=16, d_model=8, block=4, n_layers=1, seed=3)),
+    ]
+    points = []
+    for name, bundle in bundles:
+        sim = _kernel_latencies(bundle, RDA_MACHINE)
+        fpga = _kernel_latencies(bundle, FPGA_MACHINE)
+        points.extend((name, s, f) for s, f in zip(sim, fpga))
+    sim_log = np.log10([p[1] for p in points])
+    fpga_log = np.log10([p[2] for p in points])
+    corr = np.corrcoef(sim_log, fpga_log)[0, 1]
+    return points, float(corr**2)
+
+
+def test_fig13_fpga_correlation(benchmark):
+    points, r_squared = correlation()
+    rows = [[m, f"{s:.0f}", f"{f:.0f}"] for m, s, f in points]
+    print_figure(
+        f"Figure 13: Comal vs FPGA per-kernel latency (R^2 = {r_squared:.3f})",
+        rows,
+        ["model", "simulator cycles", "FPGA cycles"],
+    )
+    assert len(points) >= 20  # the paper correlates tens of kernels
+    assert r_squared > 0.9, f"R^2 {r_squared:.3f} below the paper's agreement"
+
+    rng = np.random.default_rng(0)
+    adj = weighted_adjacency(synthetic_graph(34, 0.12, "powerlaw", 42), rng)
+    feats = node_features(34, 6, seed=43)
+    bundle = build_gcn(adj, feats, hidden=6, classes=3, seed=1)
+    benchmark(lambda: _kernel_latencies(bundle, FPGA_MACHINE))

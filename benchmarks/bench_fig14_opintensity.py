@@ -1,0 +1,72 @@
+"""Figure 14: GCN FLOPs and memory traffic, normalized to the unfused baseline.
+
+Paper shape: partial fusion cuts bytes moved (higher operational intensity,
+same FLOPs); full fusion raises operational intensity further but its
+recomputation increases *both* FLOPs and bytes — fusion must balance
+reduced data movement against extra computation.
+"""
+
+import pytest
+
+from bench_common import BALANCED_MACHINE, cached, print_figure, verified_run
+from repro.data.registry import graph_dataset
+from repro.models.gcn import build_gcn
+
+DATASETS = ["cora", "dblp", "collab"]
+
+
+@cached
+def series():
+    out = {}
+    for name in DATASETS:
+        entry, adj, feats = graph_dataset(name)
+        bundle = build_gcn(adj, feats, hidden=8, classes=4, seed=entry.seed)
+        metrics = {}
+        for granularity in ("unfused", "partial", "full"):
+            result = verified_run(bundle, bundle.schedule(granularity), BALANCED_MACHINE)
+            metrics[granularity] = (
+                result.metrics.flops,
+                result.metrics.dram_bytes,
+                result.metrics.operational_intensity(),
+            )
+        out[name] = metrics
+    return out
+
+
+def test_fig14_operational_intensity(benchmark):
+    data = series()
+    rows = []
+    for name, metrics in data.items():
+        base_flops, base_bytes, _ = metrics["unfused"]
+        for granularity, (flops, nbytes, intensity) in metrics.items():
+            rows.append(
+                [
+                    name,
+                    granularity,
+                    f"{flops / base_flops:.2f}",
+                    f"{nbytes / base_bytes:.2f}",
+                    f"{intensity:.3f}",
+                ]
+            )
+    print_figure(
+        "Figure 14: GCN FLOPs/bytes normalized to unfused",
+        rows,
+        ["dataset", "schedule", "flops (norm)", "bytes (norm)", "flops/byte"],
+    )
+    for name, metrics in data.items():
+        unfused_f, unfused_b, unfused_i = metrics["unfused"]
+        partial_f, partial_b, partial_i = metrics["partial"]
+        full_f, full_b, full_i = metrics["full"]
+        # Partial fusion: same work, less data movement.
+        assert partial_f == unfused_f, name
+        assert partial_b < unfused_b, name
+        assert partial_i > unfused_i, name
+        # Full fusion: recomputation raises FLOPs; intensity rises further.
+        assert full_f > partial_f, name
+        assert full_i > partial_i, name
+
+    entry, adj, feats = graph_dataset("cora")
+    bundle = build_gcn(adj, feats, hidden=8, classes=4, seed=entry.seed)
+    benchmark(
+        lambda: verified_run(bundle, bundle.schedule("partial"), BALANCED_MACHINE)
+    )

@@ -1,0 +1,86 @@
+"""Figure 16: parallelization factor and location sweeps for BigBird attention.
+
+Paper shape: (a) the generated program scales with the parallelization
+factor (near-linear until non-parallelized stages bind); (b) parallelizing
+different index variables gives different gains, and parallelizing both
+levels by 4 multiplies up (paper: ~15.9x for 4x4).
+
+The sweep runs the fused attention region on a compute-bound machine (the
+paper's parallelization study exercises compute scaling).
+"""
+
+import pytest
+
+from bench_common import COMPUTE_BOUND_MACHINE, cached, print_figure
+from repro.models.gpt3 import build_gpt3
+from repro.pipeline import compile_program, execute
+
+FACTORS = [1, 2, 4, 8, 16, 32, 64]
+ATTENTION_REGION = 1  # subset 2 of decoder 0 under the partial schedule
+
+
+def _attention_cycles(bundle, par):
+    schedule = bundle.schedule("partial")
+    schedule.par = dict(par)
+    compiled = compile_program(bundle.program, schedule)
+    result = execute(compiled, bundle.binding, COMPUTE_BOUND_MACHINE)
+    return result.region_results[ATTENTION_REGION].cycles
+
+
+@cached
+def sweeps():
+    bundle = build_gpt3(seq_len=128, d_model=16, block=4, n_layers=1, seed=31)
+    compiled = compile_program(bundle.program, bundle.schedule("partial"))
+    order = compiled.regions[ATTENTION_REGION].order
+    level1, level2 = order[0], order[1]
+    factor_sweep = {f: _attention_cycles(bundle, {level1: f}) for f in FACTORS}
+    location = {
+        ("level 1", 4): _attention_cycles(bundle, {level1: 4}),
+        ("level 2", 4): _attention_cycles(bundle, {level2: 4}),
+        ("both", 4): _attention_cycles(bundle, {level1: 4, level2: 4}),
+    }
+    base = factor_sweep[1]
+    return factor_sweep, location, base
+
+
+def test_fig16a_parallel_factor_sweep(benchmark):
+    factor_sweep, _, base = sweeps()
+    rows = [
+        [str(f), f"{cycles:.0f}", f"{base / cycles:.2f}x"]
+        for f, cycles in factor_sweep.items()
+    ]
+    print_figure(
+        "Figure 16a: parallelization factor sweep (BigBird attention)",
+        rows,
+        ["par factor", "cycles", "speedup"],
+    )
+    speedups = [base / factor_sweep[f] for f in FACTORS]
+    # Monotone non-decreasing scaling.
+    for before, after in zip(speedups, speedups[1:]):
+        assert after >= before * 0.99
+    assert speedups[2] > 1.8  # factor 4 roughly halves-again cycles
+    assert speedups[-1] > 3.0
+
+    bundle = build_gpt3(seq_len=64, d_model=16, block=4, n_layers=1, seed=31)
+    benchmark(lambda: _attention_cycles(bundle, {}))
+
+
+def test_fig16b_parallel_location_sweep(benchmark):
+    _, location, base = sweeps()
+    rows = [
+        [where, str(factor), f"{cycles:.0f}", f"{base / cycles:.2f}x"]
+        for (where, factor), cycles in location.items()
+    ]
+    print_figure(
+        "Figure 16b: parallelization location sweep (BigBird attention)",
+        rows,
+        ["level", "factor", "cycles", "speedup"],
+    )
+    both = base / location[("both", 4)]
+    single = max(base / location[("level 1", 4)], base / location[("level 2", 4)])
+    assert both >= single  # parallelizing both levels compounds
+
+    bundle = build_gpt3(seq_len=64, d_model=16, block=4, n_layers=1, seed=31)
+    compiled = compile_program(bundle.program, bundle.schedule("partial"))
+    level1 = compiled.regions[ATTENTION_REGION].order[0]
+    benchmark(lambda: _attention_cycles(bundle, {level1: 4}))

@@ -1,0 +1,6 @@
+"""Make bench_common importable when pytest collects from the repo root."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

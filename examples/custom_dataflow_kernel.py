@@ -1,0 +1,85 @@
+"""Author a custom fused sparse kernel and inspect every compiler stage.
+
+Implements a fused SDDMM + row-softmax + SpMM pipeline (the core of any
+sparse attention mechanism) directly at the Einsum level, then walks the
+full compilation flow of paper Figure 6: fused Einsums + POG -> fusion
+table -> SAMML graph -> simulation, including dataflow-order enumeration.
+
+Run:  python examples/custom_dataflow_kernel.py
+"""
+
+import numpy as np
+
+from repro import parse_program, fully_fused
+from repro.comal import run_timed
+from repro.core.fusion.fuse import fold_masks, fuse_region
+from repro.core.fusion.orders import enumerate_orders
+from repro.core.tables.lower import RegionLowerer
+from repro.ftree import SparseTensor, csr, dense
+
+N, D = 32, 8
+
+program = parse_program(
+    f"""
+tensor Q({N}, {D}): dense
+tensor Kt({N}, {D}): dense
+tensor M({N}, {N}): csr
+tensor V({N}, {D}): dense
+P(i, j) = Q(i, d) * Kt(j, d)
+S(i, j) = P(i, j) * M(i, j)
+W(i, j) = softmax[j](S(i, j))
+O(i, e) = W(i, j) * V(j, e)
+""",
+    name="sparse-attention",
+)
+
+# Stage (c): cross-expression fusion with the partial order graph.
+fused = fold_masks(fuse_region(program, range(4), name="attention"))
+print("fused Einsum statements (mask folded into the QK^T contraction):")
+for stmt in fused.statements:
+    print(f"  {stmt}")
+print()
+print(fused.pog.describe())
+print()
+print("fully fused Einsum:", fused.fused_einsum_string())
+print()
+print(f"valid dataflow orders: {fused.pog.count_orders()}")
+for order in enumerate_orders(fused, limit=5):
+    print(f"  {order}")
+
+# Stage (d)+(e): fusion table and SAMML graph.
+lowerer = RegionLowerer(fused, program.decls)
+graph = lowerer.lower()
+print()
+print(lowerer.table.render())
+print()
+print(f"SAMML graph: {graph.node_count()} nodes")
+
+# Simulate and verify against a dense reference.
+rng = np.random.default_rng(0)
+q = rng.random((N, D))
+kt = rng.random((N, D))
+v = rng.random((N, D))
+m = (rng.random((N, N)) < 0.2) * 1.0
+binding = {
+    "Q": SparseTensor.from_dense(q, dense(2), "Q"),
+    "Kt": SparseTensor.from_dense(kt, dense(2), "Kt"),
+    "M": SparseTensor.from_dense(m, csr(), "M"),
+    "V": SparseTensor.from_dense(v, dense(2), "V"),
+}
+result = run_timed(graph, binding)
+
+scores = (q @ kt.T) * m
+weights = np.zeros_like(scores)
+for r in range(N):
+    cols = np.nonzero(m[r])[0]
+    if cols.size:
+        e = np.exp(scores[r, cols] - scores[r, cols].max())
+        weights[r, cols] = e / e.sum()
+expected = weights @ v
+
+error = np.abs(result.results["O"].to_dense() - expected).max()
+print(f"cycles={result.cycles:.0f} flops={result.flops} bytes={result.dram_bytes}")
+print(f"max |error| vs dense reference: {error:.2e}")
+assert error < 1e-9
+print("OK")

@@ -1,0 +1,61 @@
+"""FuseFlow reproduction: fusion-centric compilation of sparse DL to dataflow.
+
+Public API surface:
+
+* :mod:`repro.frontend` — PyTorch-like tracing of sparse models.
+* :mod:`repro.core` — the FuseFlow compiler (Einsum IR, cross-expression
+  fusion, fusion tables, scheduling, heuristic).
+* :mod:`repro.sam` — the SAM/SAMML abstract machine.
+* :mod:`repro.ftree` — fibertree sparse tensors and formats.
+* :mod:`repro.comal` — the dataflow simulator.
+* :mod:`repro.models` / :mod:`repro.data` — the evaluation's model zoo and
+  dataset generators.
+* :mod:`repro.pipeline` — compile/execute entry points.
+"""
+
+from . import comal, core, data, ftree, models, sam
+from .core.einsum.ast import EinsumProgram
+from .core.einsum.parser import parse_program
+from .core.schedule.schedule import (
+    Schedule,
+    cs_rewrite,
+    fully_fused,
+    fused_groups,
+    unfused,
+)
+from .frontend.api import Linear, ModelBuilder
+from .ftree import Format, SparseTensor, csr, dcsr, dense, sparse_vector
+from .pipeline import (
+    CompiledProgram,
+    ProgramResult,
+    compare_schedules,
+    compile_program,
+    execute,
+    run,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EinsumProgram",
+    "parse_program",
+    "Schedule",
+    "unfused",
+    "fully_fused",
+    "fused_groups",
+    "cs_rewrite",
+    "ModelBuilder",
+    "Linear",
+    "SparseTensor",
+    "Format",
+    "csr",
+    "dcsr",
+    "dense",
+    "sparse_vector",
+    "compile_program",
+    "execute",
+    "run",
+    "compare_schedules",
+    "CompiledProgram",
+    "ProgramResult",
+]

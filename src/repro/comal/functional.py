@@ -1,0 +1,67 @@
+"""Functional (untimed) executor for SAMML graphs.
+
+Evaluates every node of a graph in topological order, producing the exact
+token streams of the SAM protocol.  This layer defines functional
+correctness; the timed executor in :mod:`repro.comal.engine` replays the
+same streams through a machine timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..sam.graph import SAMGraph
+from ..sam.primitives.base import ExecutionContext, NodeStats
+
+
+@dataclass
+class FunctionalResult:
+    """Streams and statistics from one functional execution."""
+
+    streams: Dict[Tuple[str, str], list] = field(default_factory=dict)
+    stats: Dict[str, NodeStats] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def stream(self, node_id: str, port: str = "out") -> list:
+        return self.streams[(node_id, port)]
+
+    def total_ops(self) -> int:
+        return sum(s.ops for s in self.stats.values())
+
+    def total_dram_bytes(self) -> int:
+        return sum(s.dram_reads + s.dram_writes for s in self.stats.values())
+
+    def total_tokens(self) -> int:
+        return sum(s.tokens_out for s in self.stats.values())
+
+
+def run_functional(
+    graph: SAMGraph,
+    binding: Dict[str, Any],
+    scratchpad_bytes: int = 1 << 16,
+) -> FunctionalResult:
+    """Execute ``graph`` functionally with tensors bound by name."""
+    graph.validate()
+    ctx = ExecutionContext(binding, scratchpad_bytes=scratchpad_bytes)
+    result = FunctionalResult()
+    order = graph.topological_order()
+    result.order = order
+    for node_id in order:
+        node = graph.nodes[node_id]
+        ins = {}
+        for port_name, src in node.inputs.items():
+            key = (src.node_id, src.port)
+            if key not in result.streams:
+                raise RuntimeError(
+                    f"node {node_id} consumes {key} before it is produced"
+                )
+            ins[port_name] = result.streams[key]
+        stats = ctx.stats_for(node_id)
+        outs = node.prim.process(ins, ctx, stats)
+        for port_name, stream in outs.items():
+            result.streams[(node_id, port_name)] = stream
+    result.stats = ctx.stats
+    result.results = ctx.results
+    return result

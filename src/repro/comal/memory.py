@@ -1,0 +1,67 @@
+"""HBM-like memory model (Ramulator 2.0 stand-in).
+
+Models off-chip memory as a shared resource with a fixed access latency and a
+bandwidth-limited service rate.  Requests are serialized through the shared
+port: a request arriving while the port is busy waits, which is how unfused
+pipelines that bounce intermediates through DRAM lose to fused ones.
+
+The model is deliberately simple — row-buffer effects are folded into an
+effective bandwidth — but preserves the two behaviors the evaluation relies
+on: (1) a latency floor per access chain and (2) a bandwidth roofline on
+total traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryModel:
+    """Shared DRAM port with bandwidth/latency accounting.
+
+    Attributes
+    ----------
+    bandwidth:
+        Sustained bytes per cycle across the whole device.
+    latency:
+        Cycles from request issue to first data beat.
+    burst_bytes:
+        Minimum transfer granularity; small requests round up.
+    """
+
+    bandwidth: float = 64.0
+    latency: float = 100.0
+    burst_bytes: int = 32
+    next_free: float = field(default=0.0, init=False)
+    total_bytes: int = field(default=0, init=False)
+    total_requests: int = field(default=0, init=False)
+
+    def reset(self) -> None:
+        self.next_free = 0.0
+        self.total_bytes = 0
+        self.total_requests = 0
+
+    def access(self, arrival: float, nbytes: int) -> float:
+        """Serve a request of ``nbytes`` arriving at ``arrival``.
+
+        Returns the cycle at which the data is available to the requester.
+        """
+        nbytes = max(int(nbytes), 0)
+        if nbytes == 0:
+            return arrival
+        burst = max(nbytes, self.burst_bytes)
+        start = max(arrival, self.next_free)
+        service = burst / self.bandwidth
+        self.next_free = start + service
+        self.total_bytes += nbytes
+        self.total_requests += 1
+        return start + service + self.latency
+
+    def drain_time(self) -> float:
+        """Cycle at which all queued traffic has been serviced."""
+        return self.next_free
+
+    def roofline_cycles(self, nbytes: int) -> float:
+        """Minimum cycles to move ``nbytes`` at full bandwidth."""
+        return nbytes / self.bandwidth

@@ -1,0 +1,81 @@
+"""Aggregated program metrics across multi-kernel executions.
+
+A compiled model is a sequence of SAMML graphs (one per fusion region); this
+module accumulates their simulation results into program-level metrics and
+provides the derived quantities the paper's figures report (speedups,
+operational intensity, utilization percentages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .engine import SimResult
+from .machines import Machine
+
+
+@dataclass
+class ProgramMetrics:
+    """Cycles/FLOPs/bytes accumulated over the kernels of one program."""
+
+    label: str = "program"
+    cycles: float = 0.0
+    flops: int = 0
+    dram_bytes: int = 0
+    tokens: int = 0
+    kernel_cycles: List[float] = field(default_factory=list)
+    kernel_labels: List[str] = field(default_factory=list)
+
+    def add(self, result: SimResult, label: str = "") -> None:
+        self.cycles += result.cycles
+        self.flops += result.flops
+        self.dram_bytes += result.dram_bytes
+        self.tokens += result.tokens
+        self.kernel_cycles.append(result.cycles)
+        self.kernel_labels.append(label or f"kernel{len(self.kernel_cycles)}")
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernel_cycles)
+
+    def operational_intensity(self) -> float:
+        return self.flops / self.dram_bytes if self.dram_bytes else float("inf")
+
+    def compute_utilization(self, machine: Machine) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.flops / (self.cycles * machine.peak_flops_per_cycle)
+
+    def memory_utilization(self, machine: Machine) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.dram_bytes / (self.cycles * machine.dram_bandwidth)
+
+    def speedup_over(self, baseline: "ProgramMetrics") -> float:
+        """Baseline cycles / our cycles (``> 1`` means we are faster)."""
+        if self.cycles <= 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+
+def speedup_table(
+    metrics: Dict[str, ProgramMetrics], baseline: str
+) -> Dict[str, float]:
+    """Speedups of each configuration relative to ``baseline``."""
+    base = metrics[baseline]
+    return {name: m.speedup_over(base) if name != baseline else 1.0
+            for name, m in metrics.items()}
+
+
+def format_table(rows: List[List[str]], header: List[str]) -> str:
+    """Render a fixed-width text table (used by benchmark reports)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

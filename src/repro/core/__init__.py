@@ -1,0 +1,3 @@
+"""FuseFlow compiler core: Einsum IR, fusion, fusion tables, schedules."""
+
+from . import einsum, fusion, heuristic, schedule, tables

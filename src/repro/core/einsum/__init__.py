@@ -1,0 +1,6 @@
+"""Einsum IR and parser."""
+
+from .ast import Access, EinsumError, EinsumProgram, Statement, TensorDecl
+from .parser import parse_program
+
+__all__ = ["Access", "Statement", "EinsumProgram", "TensorDecl", "EinsumError", "parse_program"]

@@ -1,0 +1,156 @@
+"""Text parser for Einsum programs.
+
+A small concrete syntax used by examples and tests (the frontend builds
+programs programmatically).  Grammar, one construct per line::
+
+    tensor A(2708, 1433): csr          # declaration: name(shape): format
+    T0(i, j) = A(i, k) * X(k, j)       # multiplicative contraction (n-ary)
+    Y(i, j) = T0(i, j) + b(j)          # elementwise addition
+    Z(i, j) = relu(Y(i, j))            # unary map
+    S(i, j) = softmax[j](Z(i, j))      # fiber op over index j
+    W(i, j) = A(i, k) * X(k, j) order(i, k, j)   # user dataflow order
+
+Formats: ``dense``, ``csr``, ``csc``, ``dcsr``, ``sv``, ``dv``, or a level
+spec like ``dc``.  Comments start with ``#``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ...ftree.format import (
+    Format,
+    csc,
+    csr,
+    dcsr,
+    dense,
+    dense_vector,
+    from_spec,
+    sparse_vector,
+)
+from .ast import (
+    ADDITIVE_OPS,
+    Access,
+    EinsumError,
+    EinsumProgram,
+    FIBER_OPS,
+    Statement,
+    UNARY_OPS,
+)
+
+_DECL_RE = re.compile(
+    r"^tensor\s+(\w+)\s*\(([^)]*)\)\s*:\s*([\w\-x]+)\s*$"
+)
+_ACCESS_RE = re.compile(r"^\s*(\w+)\s*\(([^)]*)\)\s*$")
+_ORDER_RE = re.compile(r"order\s*\(([^)]*)\)\s*$")
+_UNARY_RE = re.compile(r"^\s*(\w+)\s*\(\s*(\w+\s*\([^)]*\))\s*\)\s*$")
+_FIBER_RE = re.compile(r"^\s*(\w+)\s*\[\s*(\w+)\s*\]\s*\(\s*(\w+\s*\([^)]*\))\s*\)\s*$")
+
+
+def _parse_format(spec: str, order: int) -> Format:
+    named = {
+        "dense": lambda: dense(order),
+        "csr": csr,
+        "csc": csc,
+        "dcsr": dcsr,
+        "sv": sparse_vector,
+        "dv": dense_vector,
+    }
+    if spec in named:
+        return named[spec]()
+    return from_spec(spec)
+
+
+def _parse_access(text: str) -> Access:
+    match = _ACCESS_RE.match(text)
+    if not match:
+        raise EinsumError(f"cannot parse access {text!r}")
+    indices = tuple(i.strip() for i in match.group(2).split(",") if i.strip())
+    return Access(match.group(1), indices)
+
+
+def _split_terms(text: str, seps: Tuple[str, ...]) -> Optional[Tuple[str, List[str]]]:
+    """Split ``text`` at top-level occurrences of any separator in ``seps``."""
+    depth = 0
+    pieces: List[str] = []
+    op_found: Optional[str] = None
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if depth == 0 and ch in seps:
+            if op_found is None:
+                op_found = ch
+            elif op_found != ch:
+                raise EinsumError(f"mixed operators in {text!r}; parenthesize")
+            pieces.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    pieces.append("".join(current))
+    if op_found is None:
+        return None
+    return op_found, pieces
+
+
+def parse_program(text: str, name: str = "program") -> EinsumProgram:
+    """Parse a full program from the concrete syntax above."""
+    program = EinsumProgram(name)
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            shape = tuple(int(s) for s in decl.group(2).split(",") if s.strip())
+            fmt = _parse_format(decl.group(3), len(shape))
+            program.declare(decl.group(1), shape, fmt)
+            continue
+        if "=" not in line:
+            raise EinsumError(f"cannot parse line {raw_line!r}")
+        lhs_text, rhs_text = line.split("=", 1)
+        order: Optional[Tuple[str, ...]] = None
+        order_match = _ORDER_RE.search(rhs_text)
+        if order_match:
+            order = tuple(
+                i.strip() for i in order_match.group(1).split(",") if i.strip()
+            )
+            rhs_text = rhs_text[: order_match.start()].strip()
+        lhs = _parse_access(lhs_text)
+        stmt = _parse_rhs(lhs, rhs_text.strip(), order)
+        program.add(stmt)
+    program.validate()
+    return program
+
+
+def _parse_rhs(lhs: Access, rhs: str, order: Optional[Tuple[str, ...]]) -> Statement:
+    fiber = _FIBER_RE.match(rhs)
+    if fiber and fiber.group(1) in FIBER_OPS:
+        operand = _parse_access(fiber.group(3))
+        if operand.indices[-1] != fiber.group(2):
+            raise EinsumError(
+                f"fiber op {fiber.group(1)} must act on the innermost index "
+                f"({operand.indices[-1]!r}), got {fiber.group(2)!r}"
+            )
+        return Statement(lhs=lhs, kind="fiber", op=fiber.group(1), operands=(operand,))
+    unary = _UNARY_RE.match(rhs)
+    if unary and unary.group(1) in UNARY_OPS:
+        operand = _parse_access(unary.group(2))
+        return Statement(lhs=lhs, kind="unary", op=unary.group(1), operands=(operand,))
+    split = _split_terms(rhs, ("+", "-"))
+    if split:
+        op_char, pieces = split
+        op = "add" if op_char == "+" else "sub"
+        operands = tuple(_parse_access(p) for p in pieces)
+        return Statement(lhs=lhs, kind="contract", op=op, operands=operands, order=order)
+    split = _split_terms(rhs, ("*",))
+    if split:
+        _, pieces = split
+        operands = tuple(_parse_access(p) for p in pieces)
+        return Statement(lhs=lhs, kind="contract", op="mul", operands=operands, order=order)
+    # A bare access: identity copy.
+    operand = _parse_access(rhs)
+    return Statement(lhs=lhs, kind="unary", op="identity", operands=(operand,))

@@ -1,0 +1,19 @@
+"""Cross-expression fusion: POG, fusion algorithm, order exploration."""
+
+from .fuse import FusedEinsum, TensorViewInfo, fold_masks, fuse_region, merge_contractions
+from .orders import OrderSpace, enumerate_orders, order_space, program_order_space
+from .pog import OrderConflictError, PartialOrderGraph
+
+__all__ = [
+    "fuse_region",
+    "fold_masks",
+    "merge_contractions",
+    "FusedEinsum",
+    "TensorViewInfo",
+    "PartialOrderGraph",
+    "OrderConflictError",
+    "order_space",
+    "program_order_space",
+    "enumerate_orders",
+    "OrderSpace",
+]

@@ -1,0 +1,154 @@
+"""Partial order graph (POG) over fused index variables.
+
+The POG is the ordering backbone of FuseFlow's cross-expression fusion
+(Section 5): nodes are (unified) index variables; a directed edge ``a -> b``
+constrains ``a`` to be iterated outside ``b``.  Edges come from three
+sources, each tagged so cycle resolution can remove a tensor view's
+constraints wholesale:
+
+* per-tensor mode orders (concordant traversal of storage formats),
+* user-scheduled dataflow orders of individual expressions,
+* producer/consumer containment added during fusion.
+
+Topological sorts of the POG are exactly the legal fused dataflow orders;
+counting them reproduces the design-space sizes of Table 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+class OrderConflictError(ValueError):
+    """Raised when ordering constraints are unsatisfiable."""
+
+
+class PartialOrderGraph:
+    """Directed constraint graph over index variables."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+
+    def add_index(self, index: str) -> None:
+        self.graph.add_node(index)
+
+    def add_constraint(self, outer: str, inner: str, tag: str, reason: str = "") -> None:
+        """Require ``outer`` to precede ``inner``; ``tag`` groups edges."""
+        if outer == inner:
+            return
+        if self.graph.has_edge(outer, inner):
+            self.graph[outer][inner]["tags"].add(tag)
+        else:
+            self.graph.add_edge(outer, inner, tags={tag}, reason=reason)
+
+    @property
+    def indices(self) -> List[str]:
+        return list(self.graph.nodes)
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def find_cycle(self) -> List[Tuple[str, str]]:
+        """Return the edges of one cycle, or [] if acyclic."""
+        try:
+            return [(edge[0], edge[1]) for edge in nx.find_cycle(self.graph)]
+        except nx.NetworkXNoCycle:
+            return []
+
+    def edge_tags(self, outer: str, inner: str) -> Set[str]:
+        return set(self.graph[outer][inner]["tags"])
+
+    def remove_tag(self, tag: str) -> int:
+        """Drop every edge carrying only ``tag``; return edges removed."""
+        removed = 0
+        for u, v in list(self.graph.edges):
+            tags = self.graph[u][v]["tags"]
+            tags.discard(tag)
+            if not tags:
+                self.graph.remove_edge(u, v)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+    def first_order(self, preference: Sequence[str] | None = None) -> List[str]:
+        """One valid topological order, preferring ``preference`` rank."""
+        if not self.is_acyclic():
+            raise OrderConflictError(f"POG has a cycle: {self.find_cycle()}")
+        rank = {idx: i for i, idx in enumerate(preference or [])}
+        order: List[str] = []
+        indegree = {n: self.graph.in_degree(n) for n in self.graph.nodes}
+        ready = sorted(
+            (n for n, d in indegree.items() if d == 0),
+            key=lambda n: rank.get(n, len(rank)),
+        )
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in self.graph.successors(node):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+            ready.sort(key=lambda n: rank.get(n, len(rank)))
+        if len(order) != self.graph.number_of_nodes():
+            raise OrderConflictError("cycle detected during topological sort")
+        return order
+
+    def all_orders(self, limit: int = 1000) -> Iterator[List[str]]:
+        """Yield valid topological orders (up to ``limit``)."""
+        if not self.is_acyclic():
+            raise OrderConflictError(f"POG has a cycle: {self.find_cycle()}")
+        for count, order in enumerate(nx.all_topological_sorts(self.graph)):
+            if count >= limit:
+                return
+            yield list(order)
+
+    def is_valid_order(self, order: Sequence[str]) -> bool:
+        """Check that ``order`` respects every constraint."""
+        pos = {idx: i for i, idx in enumerate(order)}
+        if set(pos) != set(self.graph.nodes):
+            return False
+        return all(pos[u] < pos[v] for u, v in self.graph.edges)
+
+    def count_orders(self, cap: int = 10**9) -> int:
+        """Count linear extensions exactly (bitmask DP), capped at ``cap``.
+
+        Exponential in index count; fused ML regions have tens of indices at
+        most, and the cap bounds the work as the paper caps its search space.
+        """
+        nodes = list(self.graph.nodes)
+        n = len(nodes)
+        if n == 0:
+            return 1
+        if n > 24:
+            return cap
+        index_of = {node: i for i, node in enumerate(nodes)}
+        preds = [0] * n
+        for u, v in self.graph.edges:
+            preds[index_of[v]] |= 1 << index_of[u]
+        dp = [0] * (1 << n)
+        dp[0] = 1
+        for mask in range(1 << n):
+            if dp[mask] == 0:
+                continue
+            for i in range(n):
+                bit = 1 << i
+                if mask & bit:
+                    continue
+                if preds[i] & ~mask:
+                    continue
+                dp[mask | bit] += dp[mask]
+                if dp[mask | bit] > cap:
+                    dp[mask | bit] = cap
+        return min(dp[(1 << n) - 1], cap)
+
+    def describe(self) -> str:
+        lines = ["POG:"]
+        for u, v in sorted(self.graph.edges):
+            tags = ",".join(sorted(self.graph[u][v]["tags"]))
+            lines.append(f"  {u} -> {v}  [{tags}]")
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Analytical fusion heuristic and schedule pruning."""
+
+from .model import FusionHeuristic, HeuristicEstimate, TensorStats, estimate_schedule, stats_from_binding
+from .prune import RankedSchedule, prune_schedules, rank_schedules, roofline_score
+
+__all__ = [
+    "FusionHeuristic",
+    "HeuristicEstimate",
+    "TensorStats",
+    "estimate_schedule",
+    "stats_from_binding",
+    "rank_schedules",
+    "prune_schedules",
+    "RankedSchedule",
+    "roofline_score",
+]

@@ -1,0 +1,27 @@
+"""Scheduling language: fusion regions, orders, parallelization."""
+
+from .autotune import TunedSchedule, autotune, contiguous_partitions, enumerate_schedules
+from .par import apply_parallelization, parallelized_levels
+from .schedule import (
+    Schedule,
+    ScheduleError,
+    cs_rewrite,
+    fully_fused,
+    fused_groups,
+    unfused,
+)
+
+__all__ = [
+    "Schedule",
+    "ScheduleError",
+    "unfused",
+    "fully_fused",
+    "fused_groups",
+    "cs_rewrite",
+    "apply_parallelization",
+    "autotune",
+    "TunedSchedule",
+    "enumerate_schedules",
+    "contiguous_partitions",
+    "parallelized_levels",
+]

@@ -1,0 +1,132 @@
+"""Autoscheduling: search the fusion-granularity design space automatically.
+
+The paper leaves autoscheduling as future work ("future work includes
+autoscheduling to determine fusion schedules for common sparse ML patterns",
+Section 4.2) but ships the two ingredients: a schedule space (contiguous
+partitions of the statement list into fusion regions) and a fast analytical
+heuristic for pruning (Section 7).  This module composes them:
+
+1. enumerate candidate fusion schedules (all contiguous partitions up to a
+   budget, or user-supplied candidates),
+2. rank them with the FLOPs/bytes heuristic under a machine roofline,
+3. simulate only the top-k survivors and return the measured winner.
+
+This mirrors the paper's design-space-exploration methodology (56
+configurations, heuristic pruning of suboptimal ones).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...comal.machines import Machine, RDA_MACHINE
+from ..einsum.ast import EinsumProgram
+from ..heuristic.model import FusionHeuristic, TensorStats
+from ..heuristic.prune import roofline_score
+from .schedule import Schedule, fused_groups
+
+
+@dataclass
+class TunedSchedule:
+    """Outcome of one autotuning run."""
+
+    best: Schedule
+    measured_cycles: float
+    candidates_considered: int
+    candidates_simulated: int
+    ranking: List[Tuple[str, float]] = field(default_factory=list)
+
+
+def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[int]]]:
+    """All contiguous partitions of ``range(n)`` (up to ``max_partitions``).
+
+    Fusion regions must respect program order, so the schedule space is the
+    2^(n-1) ways of placing region boundaries between consecutive
+    statements.  The cap keeps enumeration tractable for big models; beyond
+    it, coarser granularities (fewer boundaries) are preferred.
+    """
+    partitions: List[List[List[int]]] = []
+    boundaries = list(range(1, n))
+    # Enumerate by number of boundaries, fewest first (coarsest fusion).
+    for k in range(0, n):
+        for cut in itertools.combinations(boundaries, k):
+            edges = [0, *cut, n]
+            partitions.append(
+                [list(range(a, b)) for a, b in zip(edges, edges[1:])]
+            )
+            if len(partitions) >= max_partitions:
+                return partitions
+    return partitions
+
+
+def enumerate_schedules(
+    program: EinsumProgram, max_candidates: int = 64
+) -> List[Schedule]:
+    """Candidate fusion schedules: contiguous region partitions."""
+    n = len(program.statements)
+    schedules = []
+    for i, partition in enumerate(contiguous_partitions(n, max_candidates)):
+        name = f"auto-{i}" if len(partition) not in (1, n) else (
+            "auto-fully-fused" if len(partition) == 1 else "auto-unfused"
+        )
+        schedules.append(fused_groups(program, partition, name=name))
+    return schedules
+
+
+def autotune(
+    program: EinsumProgram,
+    binding: Dict[str, object],
+    stats: Dict[str, TensorStats],
+    candidates: Sequence[Schedule] | None = None,
+    machine: Machine = RDA_MACHINE,
+    simulate_top: int = 3,
+    max_candidates: int = 64,
+) -> TunedSchedule:
+    """Pick the best fusion schedule via heuristic pruning + simulation.
+
+    Candidate schedules that fail to compile (infeasible streaming under the
+    POG) are skipped — an unfused boundary always exists as a fallback.
+    """
+    from ...pipeline import run  # local import: pipeline imports schedules
+
+    candidates = list(candidates) if candidates else enumerate_schedules(
+        program, max_candidates
+    )
+    heuristic = FusionHeuristic(program, stats)
+    scored: List[Tuple[float, Schedule]] = []
+    for schedule in candidates:
+        try:
+            estimate = heuristic.estimate(schedule)
+        except Exception:
+            continue
+        scored.append((roofline_score(estimate, machine), schedule))
+    scored.sort(key=lambda pair: pair[0])
+
+    best_schedule: Optional[Schedule] = None
+    best_cycles = float("inf")
+    simulated = 0
+    ranking: List[Tuple[str, float]] = []
+    for score, schedule in scored:
+        if simulated >= simulate_top:
+            break
+        try:
+            result = run(program, binding, schedule, machine)
+        except Exception:
+            continue  # infeasible under this granularity; next candidate
+        simulated += 1
+        cycles = result.metrics.cycles
+        ranking.append((schedule.name, cycles))
+        if cycles < best_cycles:
+            best_cycles = cycles
+            best_schedule = schedule
+    if best_schedule is None:
+        raise RuntimeError("no candidate schedule could be compiled and run")
+    return TunedSchedule(
+        best=best_schedule,
+        measured_cycles=best_cycles,
+        candidates_considered=len(scored),
+        candidates_simulated=simulated,
+        ranking=ranking,
+    )

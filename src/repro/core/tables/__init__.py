@@ -1,0 +1,14 @@
+"""Fusion tables and the lowering to SAMML graphs."""
+
+from .lower import Driver, Intermediate, LoweringError, OutputSpec, RegionLowerer
+from .table import Cell, FusionTable
+
+__all__ = [
+    "RegionLowerer",
+    "LoweringError",
+    "FusionTable",
+    "Cell",
+    "Intermediate",
+    "Driver",
+    "OutputSpec",
+]

@@ -1,0 +1,93 @@
+"""The fusion table IR artifact (paper Section 6.1).
+
+A fusion table is a two-dimensional grid: rows are fused index variables (in
+dataflow order) plus a final ``val`` row; columns are tensor views and
+intermediate results; cells hold either *primitive cells* (planned dataflow
+nodes) or *reference cells* (named pointers to streams that may not be
+materialized yet).
+
+The lowering in :mod:`repro.core.tables.lower` populates a table while it
+plans each fused statement and then emits the SAMML graph; the table itself
+is the introspection artifact that tests compare against the paper's
+figures (e.g., the SpMM table of Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Cell:
+    """One fusion-table cell.
+
+    ``kind`` is a short tag (``ls``, ``rep``, ``isect``, ``union``, ``red``,
+    ``vred``, ``val``, ``compute``, ``ref``, ``locate``); ``text`` is the
+    rendered form (e.g. ``LS(<A_i>)``); ``node_id`` is filled once the
+    corresponding dataflow node exists (reference cells keep ``None``).
+    """
+
+    kind: str
+    text: str
+    node_id: Optional[str] = None
+
+
+class FusionTable:
+    """Grid of cells recording one fused region's lowering plan."""
+
+    def __init__(self, name: str, rows: List[str]) -> None:
+        self.name = name
+        self.rows: List[str] = list(rows) + ["val"]
+        self.columns: List[str] = []
+        self.cells: Dict[Tuple[str, str], Cell] = {}
+
+    def add_column(self, column: str) -> str:
+        """Add a column, uniquifying the label if repeated."""
+        label = column
+        suffix = 1
+        while label in self.columns:
+            suffix += 1
+            label = f"{column}#{suffix}"
+        self.columns.append(label)
+        return label
+
+    def put(self, row: str, column: str, cell: Cell) -> Cell:
+        if row not in self.rows:
+            raise KeyError(f"unknown table row {row!r} (rows: {self.rows})")
+        if column not in self.columns:
+            raise KeyError(f"unknown table column {column!r}")
+        self.cells[(row, column)] = cell
+        return cell
+
+    def get(self, row: str, column: str) -> Optional[Cell]:
+        return self.cells.get((row, column))
+
+    def render(self) -> str:
+        """Fixed-width text rendering of the table."""
+        col_width = {
+            c: max(len(c), max(
+                (len(self.cells[(r, c)].text) for r in self.rows if (r, c) in self.cells),
+                default=0,
+            ))
+            for c in self.columns
+        }
+        row_label_w = max((len(r) for r in self.rows), default=3)
+        header = " " * row_label_w + " | " + " | ".join(
+            c.ljust(col_width[c]) for c in self.columns
+        )
+        lines = [f"fusion table {self.name}", header, "-" * len(header)]
+        for row in self.rows:
+            cells = []
+            for col in self.columns:
+                cell = self.cells.get((row, col))
+                cells.append((cell.text if cell else "").ljust(col_width[col]))
+            lines.append(row.ljust(row_label_w) + " | " + " | ".join(cells))
+        return "\n".join(lines)
+
+    def cell_kinds(self) -> Dict[str, int]:
+        """Histogram of cell kinds (used by tests)."""
+        out: Dict[str, int] = {}
+        for cell in self.cells.values():
+            out[cell.kind] = out.get(cell.kind, 0) + 1
+        return out

@@ -1,0 +1,29 @@
+"""Dataset generators and the Table 2 registry."""
+
+from .graphs import node_features, synthetic_graph, weighted_adjacency
+from .registry import (
+    GPT3_DATASET,
+    GRAPH_DATASETS,
+    SAE_DATASETS,
+    DatasetEntry,
+    graph_dataset,
+    sae_dataset,
+    table2_rows,
+)
+from .text import bigbird_mask, mask_sparsity, token_embeddings
+
+__all__ = [
+    "synthetic_graph",
+    "weighted_adjacency",
+    "node_features",
+    "DatasetEntry",
+    "GRAPH_DATASETS",
+    "SAE_DATASETS",
+    "GPT3_DATASET",
+    "graph_dataset",
+    "sae_dataset",
+    "table2_rows",
+    "bigbird_mask",
+    "mask_sparsity",
+    "token_embeddings",
+]

@@ -1,0 +1,5 @@
+"""PyTorch-like tracing frontend."""
+
+from .api import Linear, ModelBuilder, SymTensor
+
+__all__ = ["ModelBuilder", "SymTensor", "Linear"]

@@ -1,0 +1,34 @@
+"""Fibertree sparse-tensor substrate (formats, levels, tensors)."""
+
+from .format import (
+    Format,
+    LevelKind,
+    blocked_csr,
+    csc,
+    csr,
+    dcsr,
+    dense,
+    dense_vector,
+    from_spec,
+    sparse_vector,
+)
+from .levels import CompressedLevel, DenseLevel, Level
+from .tensor import SparseTensor, tensor
+
+__all__ = [
+    "Format",
+    "LevelKind",
+    "SparseTensor",
+    "CompressedLevel",
+    "DenseLevel",
+    "Level",
+    "tensor",
+    "dense",
+    "csr",
+    "csc",
+    "dcsr",
+    "sparse_vector",
+    "dense_vector",
+    "blocked_csr",
+    "from_spec",
+]

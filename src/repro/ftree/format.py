@@ -1,0 +1,153 @@
+"""Sparse tensor format descriptors in the TACO/SparseTensor-dialect style.
+
+A format describes, per storage level, whether coordinates are stored densely
+or compressed, plus the *mode order* (the permutation from logical tensor
+modes to storage levels).  FuseFlow's fusion algorithm consumes exactly this
+information: concordant traversal must follow each operand's mode order
+(Section 5 of the paper).
+
+Blocked formats add trailing dense *block* levels whose extents are the block
+shape; the values array then holds dense blocks in the innermost positions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+class LevelKind(enum.Enum):
+    """Storage kind of one tensor level."""
+
+    DENSE = "dense"
+    COMPRESSED = "compressed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Format:
+    """Per-level storage description of a tensor.
+
+    Attributes
+    ----------
+    levels:
+        One :class:`LevelKind` per storage level, outer to inner.
+    mode_order:
+        Permutation mapping storage level -> logical mode.  ``(0, 1)`` stores
+        mode 0 outermost (row-major for matrices); ``(1, 0)`` stores mode 1
+        outermost (column-major).
+    block_shape:
+        Extents of trailing dense block levels for blocked formats; empty for
+        element-wise formats.
+    """
+
+    levels: Tuple[LevelKind, ...]
+    mode_order: Tuple[int, ...] = ()
+    block_shape: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        order = self.mode_order or tuple(range(len(self.levels)))
+        object.__setattr__(self, "mode_order", order)
+        if len(self.mode_order) != len(self.levels):
+            raise ValueError(
+                f"mode_order {self.mode_order} does not match "
+                f"{len(self.levels)} levels"
+            )
+        if sorted(self.mode_order) != list(range(len(self.levels))):
+            raise ValueError(f"mode_order {self.mode_order} is not a permutation")
+
+    @property
+    def order(self) -> int:
+        """Number of logical tensor modes (excluding block levels)."""
+        return len(self.levels)
+
+    @property
+    def is_blocked(self) -> bool:
+        """True when the format carries trailing dense block levels."""
+        return bool(self.block_shape)
+
+    def level_for_mode(self, mode: int) -> int:
+        """Return the storage level holding logical ``mode``."""
+        return self.mode_order.index(mode)
+
+    def name(self) -> str:
+        """A short conventional name (CSR, DCSR, ...) when one applies."""
+        kinds = self.levels
+        if len(kinds) == 1:
+            base = "dv" if kinds[0] is LevelKind.DENSE else "sv"
+        elif len(kinds) == 2:
+            table = {
+                (LevelKind.DENSE, LevelKind.DENSE): "dense",
+                (LevelKind.DENSE, LevelKind.COMPRESSED): "csr",
+                (LevelKind.COMPRESSED, LevelKind.COMPRESSED): "dcsr",
+                (LevelKind.COMPRESSED, LevelKind.DENSE): "cd",
+            }
+            base = table[(kinds[0], kinds[1])]
+            if base == "csr" and self.mode_order == (1, 0):
+                base = "csc"
+        else:
+            base = "-".join("d" if k is LevelKind.DENSE else "c" for k in kinds)
+        if self.block_shape:
+            base += "-b" + "x".join(str(b) for b in self.block_shape)
+        return base
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name()
+
+
+def dense(order: int) -> Format:
+    """All-dense format of the given order."""
+    return Format(tuple(LevelKind.DENSE for _ in range(order)))
+
+
+def csr() -> Format:
+    """Compressed sparse row: dense rows, compressed columns."""
+    return Format((LevelKind.DENSE, LevelKind.COMPRESSED))
+
+
+def csc() -> Format:
+    """Compressed sparse column: dense columns outermost."""
+    return Format((LevelKind.DENSE, LevelKind.COMPRESSED), mode_order=(1, 0))
+
+
+def dcsr() -> Format:
+    """Doubly compressed sparse row."""
+    return Format((LevelKind.COMPRESSED, LevelKind.COMPRESSED))
+
+
+def sparse_vector() -> Format:
+    """Compressed 1-D format."""
+    return Format((LevelKind.COMPRESSED,))
+
+
+def dense_vector() -> Format:
+    """Dense 1-D format."""
+    return Format((LevelKind.DENSE,))
+
+
+def blocked_csr(block_rows: int, block_cols: int) -> Format:
+    """Block-sparse matrix: compressed outer block grid, dense inner blocks.
+
+    Used for BigBird-style block-sparse attention masks (Section 8.7).
+    """
+    return Format(
+        (LevelKind.DENSE, LevelKind.COMPRESSED),
+        block_shape=(block_rows, block_cols),
+    )
+
+
+def from_spec(spec: str, mode_order: Sequence[int] | None = None) -> Format:
+    """Parse a compact spec string like ``"dc"`` (CSR) or ``"cc"`` (DCSR)."""
+    kinds = []
+    for ch in spec:
+        if ch == "d":
+            kinds.append(LevelKind.DENSE)
+        elif ch == "c":
+            kinds.append(LevelKind.COMPRESSED)
+        else:
+            raise ValueError(f"unknown level spec {ch!r} in {spec!r}")
+    order = tuple(mode_order) if mode_order is not None else ()
+    return Format(tuple(kinds), mode_order=order)

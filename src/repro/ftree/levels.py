@@ -1,0 +1,88 @@
+"""Fibertree level structures.
+
+A tensor of order *n* is stored as *n* nested levels (fibers of fibers) plus a
+values array — the fibertree representation used by SAM and by sparse tensor
+compilers in the TACO lineage.  Each level maps a parent position to the
+coordinates and child positions of one fiber.
+
+Two level kinds are supported:
+
+``DenseLevel``
+    A fiber at position ``p`` implicitly holds coordinates ``0..N-1`` with
+    child positions ``p*N .. p*N+N-1``.
+``CompressedLevel``
+    CSR-style ``pos``/``crd`` arrays: fiber ``p`` holds the coordinates
+    ``crd[pos[p]:pos[p+1]]`` with child positions equal to the crd indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class DenseLevel:
+    """Implicit dense level of extent ``size``."""
+
+    size: int
+
+    @property
+    def kind(self) -> str:
+        return "dense"
+
+    def num_children(self, num_parents: int) -> int:
+        """Number of positions exposed to the next level."""
+        return num_parents * self.size
+
+    def fiber(self, pos: int) -> Tuple[Sequence[int], Sequence[int]]:
+        """Return (coords, child positions) of the fiber at ``pos``."""
+        base = pos * self.size
+        coords = range(self.size)
+        children = range(base, base + self.size)
+        return coords, children
+
+    def append_fiber(self, coords: Sequence[int]) -> None:  # pragma: no cover
+        raise TypeError("dense levels are implicit; cannot append fibers")
+
+
+@dataclass
+class CompressedLevel:
+    """Compressed level with explicit ``pos``/``crd`` arrays."""
+
+    size: int
+    pos: List[int] = field(default_factory=lambda: [0])
+    crd: List[int] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return "compressed"
+
+    def num_children(self, num_parents: int) -> int:
+        return len(self.crd)
+
+    def fiber(self, pos: int) -> Tuple[Sequence[int], Sequence[int]]:
+        """Return (coords, child positions) of the fiber at ``pos``."""
+        start, end = self.pos[pos], self.pos[pos + 1]
+        return self.crd[start:end], range(start, end)
+
+    def append_fiber(self, coords: Sequence[int]) -> None:
+        """Append one fiber's coordinates (used by level writers)."""
+        self.crd.extend(coords)
+        self.pos.append(len(self.crd))
+
+    def nnz(self) -> int:
+        """Total number of stored coordinates across all fibers."""
+        return len(self.crd)
+
+
+Level = DenseLevel | CompressedLevel
+
+
+def iter_fibers(level: Level, num_parents: int) -> Iterator[Tuple[int, Sequence[int], Sequence[int]]]:
+    """Yield ``(parent_pos, coords, child_positions)`` for each fiber."""
+    for p in range(num_parents):
+        coords, children = level.fiber(p)
+        yield p, coords, children

@@ -1,0 +1,17 @@
+"""Model zoo: the paper's four evaluated model classes."""
+
+from .common import ModelBundle
+from .gcn import build_gcn, gcn_on_synthetic
+from .gpt3 import build_gpt3
+from .graphsage import build_graphsage, graphsage_on_synthetic
+from .sae import build_sae
+
+__all__ = [
+    "ModelBundle",
+    "build_gcn",
+    "gcn_on_synthetic",
+    "build_graphsage",
+    "graphsage_on_synthetic",
+    "build_sae",
+    "build_gpt3",
+]

@@ -1,0 +1,96 @@
+"""Two-layer Graph Convolutional Network (Kipf & Welling), paper Section 8.1.
+
+Per Figure 22b, each layer is Adj matmul -> Linear matmul -> Linear bias ->
+nonlinearity (ReLU after layer 1, softmax after layer 2).  Partial fusion
+groups the operations of each layer; full fusion merges both layers, which
+forces recomputation of the layer-1 activations per layer-2 adjacency row.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..data.graphs import node_features, synthetic_graph, weighted_adjacency
+from ..frontend.api import Linear, ModelBuilder
+from ..ftree.format import csr
+from .common import ModelBundle, softmax_rows
+
+
+def build_gcn(
+    adj: np.ndarray,
+    feats: np.ndarray,
+    hidden: int = 8,
+    classes: int = 4,
+    seed: int = 0,
+    name: str = "gcn",
+) -> ModelBundle:
+    """Trace a 2-layer GCN over the given adjacency/features."""
+    rng = np.random.default_rng(seed)
+    n, f = feats.shape
+    builder = ModelBuilder(name)
+    a_sym = builder.input("A", adj, csr())
+    x_sym = builder.input("X", feats)
+    lin1 = Linear(builder, f, hidden, name="lin1", rng=rng)
+    lin2 = Linear(builder, hidden, classes, name="lin2", rng=rng)
+
+    t0 = builder.matmul(a_sym, x_sym, label="adj1")
+    t1 = lin1(t0, label_prefix="lin1")
+    x1 = builder.relu(t1, label="relu1")
+    t2 = builder.matmul(a_sym, x1, label="adj2")
+    t3 = lin2(t2, label_prefix="lin2")
+    y = builder.softmax(t3, label="soft")
+
+    # Dense numpy reference.
+    w1 = builder.binding["lin1_w"].to_dense()
+    b1 = builder.binding["lin1_b"].to_dense()
+    w2 = builder.binding["lin2_w"].to_dense()
+    b2 = builder.binding["lin2_b"].to_dense()
+    h = np.maximum(adj @ feats @ w1 + b1, 0.0)
+    logits = adj @ h @ w2 + b2
+    reference = softmax_rows(logits)
+
+    layer1 = builder.sids("adj1", "lin1_mm", "lin1_bias", "relu1")
+    layer2 = builder.sids("adj2", "lin2_mm", "lin2_bias", "soft")
+    return ModelBundle(
+        name=name,
+        builder=builder,
+        output=y.name,
+        reference=reference,
+        partial_groups=[layer1, layer2],
+        full_groups=None,
+        cs_groups=_cs_groups(builder),
+        metadata={"nodes": n, "features": f, "hidden": hidden, "classes": classes},
+    )
+
+
+def _cs_groups(builder: ModelBuilder) -> List[List[int]]:
+    """Custard+Stardust rewrite: contraction chains fuse (via a handwritten
+    global Einsum); nonlinear/bias operations break fusion."""
+    return [
+        builder.sids("adj1", "lin1_mm"),
+        builder.sids("lin1_bias"),
+        builder.sids("relu1"),
+        builder.sids("adj2", "lin2_mm"),
+        builder.sids("lin2_bias"),
+        builder.sids("soft"),
+    ]
+
+
+def gcn_on_synthetic(
+    nodes: int = 200,
+    features: int = 12,
+    density: float = 0.03,
+    pattern: str = "uniform",
+    hidden: int = 8,
+    classes: int = 4,
+    seed: int = 0,
+) -> ModelBundle:
+    """GCN on a synthetic graph (used by ablations and tests)."""
+    adj = weighted_adjacency(
+        synthetic_graph(nodes, density, pattern, seed),
+        np.random.default_rng(seed),
+    )
+    feats = node_features(nodes, features, seed=seed + 1)
+    return build_gcn(adj, feats, hidden=hidden, classes=classes, seed=seed)

@@ -1,0 +1,211 @@
+"""GPT-3-style decoder stack with BigBird block-sparse attention.
+
+Paper Section 8.1 evaluates GPT-3 Small (125M parameters, sequence 1024)
+with BigBird attention at block sizes 16/32/64.  This reproduction builds a
+dimensionally scaled decoder with the same operator graph per block
+(Figure 22d): LN1 -> QKV projections -> (reshape barrier) -> QK^T ->
+attention mask -> scale -> softmax -> (reshape barrier) -> AV -> output
+projection -> residual -> LN2 -> FFN -> residual.
+
+The whole decoder runs in *block space*: sequence-dimension tensors are
+blocked (block x d_model blocks for activations, block x block for
+attention scores), so value tokens carry dense blocks and contractions use
+block-matmul ALUs — the paper's sparsity-blocking optimization (§7, §8.7).
+Reshape operations are fusion barriers: partial fusion groups the three
+subsets within each decoder; full fusion additionally merges subset 3 of
+decoder *n* with subset 1 of decoder *n+1* (Figure 22d), which is why full
+fusion wins for GPT-3 — no recomputation is introduced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..data.text import bigbird_mask, token_embeddings
+from ..frontend.api import ModelBuilder, SymTensor
+from ..ftree.format import Format, LevelKind
+from .common import ModelBundle, gelu_ref, layernorm_rows, softmax_rows
+
+
+def _blocked_activation_fmt(block: int, d_model: int) -> Format:
+    """(seq, d) activation blocked as (block x d_model) row blocks."""
+    return Format((LevelKind.DENSE, LevelKind.DENSE), block_shape=(block, d_model))
+
+
+def _blocked_weight_fmt(rows: int, cols: int) -> Format:
+    """A weight matrix stored as one dense block."""
+    return Format((LevelKind.DENSE, LevelKind.DENSE), block_shape=(rows, cols))
+
+
+def _blocked_bias_fmt(dim: int) -> Format:
+    return Format((LevelKind.DENSE,), block_shape=(dim,))
+
+
+def _blocked_mask_fmt(block: int) -> Format:
+    """Attention mask: dense block-rows, compressed kept block-columns."""
+    return Format(
+        (LevelKind.DENSE, LevelKind.COMPRESSED), block_shape=(block, block)
+    )
+
+
+def build_gpt3(
+    seq_len: int = 64,
+    d_model: int = 16,
+    block: int = 8,
+    n_layers: int = 2,
+    ffn_mult: int = 2,
+    seed: int = 0,
+    name: str = "gpt3-bigbird",
+    mask_seed: int = 7,
+) -> ModelBundle:
+    """Trace an ``n_layers``-decoder GPT-3-like model with BigBird attention."""
+    rng = np.random.default_rng(seed)
+    x = token_embeddings(seq_len, d_model, seed=seed)
+    mask = bigbird_mask(seq_len, block, seed=mask_seed)
+    d_ffn = d_model * ffn_mult
+    scale = 1.0 / math.sqrt(d_model)
+
+    builder = ModelBuilder(name)
+    x_sym = builder.input("X0", x, _blocked_activation_fmt(block, d_model))
+    mask_sym = builder.input("Mask", mask, _blocked_mask_fmt(block))
+
+    subset1: List[List[int]] = []
+    subset2: List[List[int]] = []
+    subset3: List[List[int]] = []
+
+    x_ref = x.copy()
+    current = x_sym
+    for layer in range(n_layers):
+        tag = f"d{layer}"
+        wq = rng.standard_normal((d_model, d_model)) / math.sqrt(d_model)
+        wk = rng.standard_normal((d_model, d_model)) / math.sqrt(d_model)
+        wv = rng.standard_normal((d_model, d_model)) / math.sqrt(d_model)
+        wo = rng.standard_normal((d_model, d_model)) / math.sqrt(d_model)
+        wf1 = rng.standard_normal((d_model, d_ffn)) / math.sqrt(d_model)
+        wf2 = rng.standard_normal((d_ffn, d_model)) / math.sqrt(d_ffn)
+        bq, bk, bv, bo = (rng.standard_normal(d_model) * 0.02 for _ in range(4))
+        bf1 = rng.standard_normal(d_ffn) * 0.02
+        bf2 = rng.standard_normal(d_model) * 0.02
+
+        w_fmt = _blocked_weight_fmt(d_model, d_model)
+        wq_s = builder.input(f"{tag}_wq", wq, w_fmt)
+        wk_s = builder.input(f"{tag}_wk", wk, w_fmt)
+        wv_s = builder.input(f"{tag}_wv", wv, w_fmt)
+        wo_s = builder.input(f"{tag}_wo", wo, w_fmt)
+        wf1_s = builder.input(f"{tag}_wf1", wf1, _blocked_weight_fmt(d_model, d_ffn))
+        wf2_s = builder.input(f"{tag}_wf2", wf2, _blocked_weight_fmt(d_ffn, d_model))
+        bq_s = builder.input(f"{tag}_bq", bq, _blocked_bias_fmt(d_model))
+        bk_s = builder.input(f"{tag}_bk", bk, _blocked_bias_fmt(d_model))
+        bv_s = builder.input(f"{tag}_bv", bv, _blocked_bias_fmt(d_model))
+        bo_s = builder.input(f"{tag}_bo", bo, _blocked_bias_fmt(d_model))
+        bf1_s = builder.input(f"{tag}_bf1", bf1, _blocked_bias_fmt(d_ffn))
+        bf2_s = builder.input(f"{tag}_bf2", bf2, _blocked_bias_fmt(d_model))
+
+        # Subset 1: LN1 + QKV projections (up to the reshape barrier).
+        ln1 = builder.layer_norm(current, label=f"{tag}_ln1")
+        q = builder.add(builder.matmul(ln1, wq_s, label=f"{tag}_q_mm"), bq_s, label=f"{tag}_q_bias")
+        k = builder.add(builder.matmul(ln1, wk_s, label=f"{tag}_k_mm"), bk_s, label=f"{tag}_k_bias")
+        v = builder.add(builder.matmul(ln1, wv_s, label=f"{tag}_v_mm"), bv_s, label=f"{tag}_v_bias")
+        subset1.append(
+            builder.sids(
+                f"{tag}_ln1", f"{tag}_q_mm", f"{tag}_q_bias", f"{tag}_k_mm",
+                f"{tag}_k_bias", f"{tag}_v_mm", f"{tag}_v_bias",
+            )
+        )
+
+        # Subset 2: QK^T, mask, scale, softmax (between reshape barriers).
+        s_raw = builder.matmul(q, k, transpose_b=True, label=f"{tag}_qk")
+        s_masked = builder.masked(s_raw, mask_sym, label=f"{tag}_mask")
+        s_scaled = builder.scale(s_masked, scale, label=f"{tag}_scale")
+        probs = builder.softmax(s_scaled, label=f"{tag}_soft")
+        subset2.append(
+            builder.sids(f"{tag}_qk", f"{tag}_mask", f"{tag}_scale", f"{tag}_soft")
+        )
+
+        # Subset 3a: AV, output projection, first residual.  The residual
+        # buffers a full activation, so it forms a natural materialization
+        # point: res1 is written once and read twice (by LN2 and by the
+        # second residual) — see DESIGN.md on residual handling.
+        att = builder.matmul(probs, v, label=f"{tag}_av")
+        out = builder.add(
+            builder.matmul(att, wo_s, label=f"{tag}_out_mm"), bo_s, label=f"{tag}_out_bias"
+        )
+        res1 = builder.add(out, current, label=f"{tag}_res1")
+        # Subset 3b: LN2 + FFN + second residual.
+        ln2 = builder.layer_norm(res1, label=f"{tag}_ln2")
+        f1 = builder.gelu(
+            builder.add(
+                builder.matmul(ln2, wf1_s, label=f"{tag}_ffn1_mm"),
+                bf1_s,
+                label=f"{tag}_ffn1_bias",
+            ),
+            label=f"{tag}_gelu",
+        )
+        f2 = builder.add(
+            builder.matmul(f1, wf2_s, label=f"{tag}_ffn2_mm"),
+            bf2_s,
+            label=f"{tag}_ffn2_bias",
+        )
+        res2 = builder.add(f2, res1, label=f"{tag}_res2")
+        subset3.append(
+            [
+                builder.sids(
+                    f"{tag}_av", f"{tag}_out_mm", f"{tag}_out_bias", f"{tag}_res1"
+                ),
+                builder.sids(
+                    f"{tag}_ln2", f"{tag}_ffn1_mm", f"{tag}_ffn1_bias",
+                    f"{tag}_gelu", f"{tag}_ffn2_mm", f"{tag}_ffn2_bias",
+                    f"{tag}_res2",
+                ),
+            ]
+        )
+        current = res2
+
+        # Reference in dense space.
+        ln1_ref = layernorm_rows(x_ref)
+        q_ref = ln1_ref @ wq + bq
+        k_ref = ln1_ref @ wk + bk
+        v_ref = ln1_ref @ wv + bv
+        scores = (q_ref @ k_ref.T) * mask * scale
+        probs_ref = softmax_rows(scores, keep=mask > 0)
+        att_ref = probs_ref @ v_ref
+        out_ref = att_ref @ wo + bo
+        res1_ref = out_ref + x_ref
+        ln2_ref = layernorm_rows(res1_ref)
+        ffn_ref = gelu_ref(ln2_ref @ wf1 + bf1) @ wf2 + bf2
+        x_ref = ffn_ref + res1_ref
+
+    partial_groups: List[List[int]] = []
+    for layer in range(n_layers):
+        s3a, s3b = subset3[layer]
+        partial_groups.extend([subset1[layer], subset2[layer], s3a, s3b])
+
+    # Fully fused: subset3 of decoder n merges with subset1 of decoder n+1.
+    full_groups: List[List[int]] = [subset1[0]]
+    for layer in range(n_layers):
+        s3a, s3b = subset3[layer]
+        full_groups.append(subset2[layer])
+        full_groups.append(s3a)
+        if layer + 1 < n_layers:
+            full_groups.append(s3b + subset1[layer + 1])
+        else:
+            full_groups.append(s3b)
+
+    return ModelBundle(
+        name=name,
+        builder=builder,
+        output=current.name,
+        reference=x_ref,
+        partial_groups=partial_groups,
+        full_groups=full_groups,
+        metadata={
+            "seq_len": seq_len,
+            "d_model": d_model,
+            "block": block,
+            "n_layers": n_layers,
+            "mask_sparsity": 1.0 - float(np.count_nonzero(mask)) / mask.size,
+        },
+    )

@@ -1,0 +1,75 @@
+"""Sparse Autoencoder (Ng 2011-style), paper Section 8.1 / Figure 22a.
+
+Three weight-sparse layers (50% magnitude-pruned weights, Table 2) applied
+to a batch of flattened images: SpMM -> bias -> ReLU stages followed by a
+final softmax, matching Figure 22a's operator list (SpMM1, Add1, ReLU,
+SpMM2, Add2, Soft).  Partial fusion groups each layer's operations; full
+fusion merges all layers, which streams layer to layer without
+recomputation (dense row spaces), so full fusion wins for SAE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frontend.api import ModelBuilder
+from ..ftree.format import csr
+from .common import ModelBundle, softmax_rows
+
+
+def _pruned(rng: np.random.Generator, shape, density: float) -> np.ndarray:
+    """Magnitude-pruned weight matrix with the given stored density."""
+    w = rng.standard_normal(shape) / np.sqrt(shape[0])
+    threshold = np.quantile(np.abs(w), 1.0 - density)
+    return w * (np.abs(w) >= threshold)
+
+
+def build_sae(
+    x: np.ndarray,
+    hidden: int | None = None,
+    weight_density: float = 0.5,
+    seed: int = 0,
+    name: str = "sae",
+) -> ModelBundle:
+    """Trace a sparse autoencoder over a batch of flattened inputs."""
+    rng = np.random.default_rng(seed)
+    batch, dim = x.shape
+    hidden = hidden or max(dim // 2, 4)
+    builder = ModelBuilder(name)
+    x_sym = builder.input("X", x)
+    w1 = _pruned(rng, (dim, hidden), weight_density)
+    w2 = _pruned(rng, (hidden, dim), weight_density)
+    b1 = rng.standard_normal(hidden) * 0.1
+    b2 = rng.standard_normal(dim) * 0.1
+    w1_sym = builder.input("W1", w1, csr())
+    w2_sym = builder.input("W2", w2, csr())
+    b1_sym = builder.input("b1", b1)
+    b2_sym = builder.input("b2", b2)
+
+    t1 = builder.matmul(x_sym, w1_sym, label="spmm1")
+    t1b = builder.add(t1, b1_sym, label="add1")
+    h = builder.relu(t1b, label="relu1")
+    t2 = builder.matmul(h, w2_sym, label="spmm2")
+    t2b = builder.add(t2, b2_sym, label="add2")
+    y = builder.softmax(t2b, label="soft")
+
+    hidden_ref = np.maximum(x @ w1 + b1, 0.0)
+    reference = softmax_rows(hidden_ref @ w2 + b2)
+
+    return ModelBundle(
+        name=name,
+        builder=builder,
+        output=y.name,
+        reference=reference,
+        partial_groups=[
+            builder.sids("spmm1", "add1", "relu1"),
+            builder.sids("spmm2", "add2", "soft"),
+        ],
+        full_groups=None,
+        metadata={
+            "batch": batch,
+            "dim": dim,
+            "hidden": hidden,
+            "weight_density": weight_density,
+        },
+    )

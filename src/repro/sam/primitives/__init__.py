@@ -1,0 +1,37 @@
+"""SAM/SAMML dataflow primitives."""
+
+from .base import ExecutionContext, NodeStats, Primitive
+from .compute import BinaryALU, UnaryALU, ValArray
+from .fiberops import FiberMax, FiberNorm, FiberOp, FiberSoftmax
+from .joiner import Intersect, Union
+from .reduce import AlignCheck, CrdDrop, Reduce, VectorReducer
+from .repeat import Repeat, RepeatSigGen, ScalarRepeat
+from .scanner import CrdSource, LevelScanner, Locate, Root
+from .writer import TensorWriter
+
+__all__ = [
+    "Primitive",
+    "ExecutionContext",
+    "NodeStats",
+    "Root",
+    "LevelScanner",
+    "Locate",
+    "CrdSource",
+    "Intersect",
+    "Union",
+    "Repeat",
+    "ScalarRepeat",
+    "RepeatSigGen",
+    "BinaryALU",
+    "UnaryALU",
+    "ValArray",
+    "Reduce",
+    "VectorReducer",
+    "CrdDrop",
+    "AlignCheck",
+    "TensorWriter",
+    "FiberOp",
+    "FiberSoftmax",
+    "FiberNorm",
+    "FiberMax",
+]

@@ -1,0 +1,101 @@
+"""Primitive base class and execution context for SAM/SAMML nodes.
+
+Each primitive is a pure function over whole token streams: given a dict of
+input streams (one per input port) it produces a dict of output streams.  The
+execution context supplies the tensor binding (name -> SparseTensor) and a
+per-node statistics accumulator used by the simulator's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..token import Stream
+
+
+@dataclass
+class NodeStats:
+    """Per-node instrumentation collected during functional execution.
+
+    ``tokens_in``/``tokens_out`` count every token moved through the node.
+    ``ops`` counts arithmetic operations (FLOPs for ALU-class nodes).
+    ``dram_reads``/``dram_writes`` count bytes exchanged with off-chip memory
+    (zero for nodes operating purely on on-chip streams).
+    """
+
+    tokens_in: int = 0
+    tokens_out: int = 0
+    ops: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+
+    def merge(self, other: "NodeStats") -> None:
+        self.tokens_in += other.tokens_in
+        self.tokens_out += other.tokens_out
+        self.ops += other.ops
+        self.dram_reads += other.dram_reads
+        self.dram_writes += other.dram_writes
+
+
+class ExecutionContext:
+    """Carries tensor bindings and stats collection through execution."""
+
+    def __init__(
+        self,
+        binding: Dict[str, Any] | None = None,
+        scratchpad_bytes: int = 1 << 16,
+    ) -> None:
+        self.binding: Dict[str, Any] = dict(binding or {})
+        self.stats: Dict[str, NodeStats] = {}
+        # Tensors produced by writer nodes during execution.
+        self.results: Dict[str, Any] = {}
+        # On-chip scratchpad capacity: tensors that fit are charged DRAM
+        # traffic once (compulsory), not per re-access.
+        self.scratchpad_bytes = scratchpad_bytes
+
+    def tensor(self, name: str):
+        try:
+            return self.binding[name]
+        except KeyError:
+            raise KeyError(
+                f"tensor {name!r} not bound (have {sorted(self.binding)})"
+            ) from None
+
+    def stats_for(self, node_id: str) -> NodeStats:
+        if node_id not in self.stats:
+            self.stats[node_id] = NodeStats()
+        return self.stats[node_id]
+
+
+class Primitive:
+    """Base class for all SAM/SAMML dataflow primitives.
+
+    Subclasses define ``kind`` (a short identifier used by the timing model),
+    ``in_ports``/``out_ports`` (names of stream ports), and implement
+    :meth:`process`.
+    """
+
+    kind: str = "prim"
+    in_ports: Tuple[str, ...] = ()
+    out_ports: Tuple[str, ...] = ("out",)
+    # Timing class used by machine models; defaults to ``kind``.
+    op_class: Optional[str] = None
+
+    def process(self, ins: Dict[str, Stream], ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        """Consume input streams, return output streams, update ``stats``."""
+        raise NotImplementedError
+
+    def timing_class(self) -> str:
+        return self.op_class or self.kind
+
+    def describe(self) -> str:
+        return self.kind
+
+    def touches_dram(self) -> bool:
+        """True when the node moves data to/from off-chip memory."""
+        return False
+
+
+def count_tokens(streams: Dict[str, Stream]) -> int:
+    return sum(len(s) for s in streams.values())

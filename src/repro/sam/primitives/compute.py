@@ -1,0 +1,234 @@
+"""Compute primitives: binary/unary ALUs and value arrays.
+
+ALUs operate elementwise over positionally aligned value streams.  Values may
+be scalars or dense numpy blocks (blocked formats); all operators broadcast
+through numpy, and the ``bmm`` operator performs block matrix multiplication
+for contractions over blocked tensors.  EMPTY tokens behave as zeros.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..token import (
+    CRD,
+    DONE,
+    EMPTY,
+    REF,
+    STOP,
+    VAL,
+    Stream,
+    StreamProtocolError,
+)
+from .base import ExecutionContext, NodeStats, Primitive
+
+
+def _as_value(token, zero=0.0):
+    """Payload of a val token; EMPTY becomes zero."""
+    if token[0] == EMPTY:
+        return zero
+    return token[1]
+
+
+def _flops_of(value) -> int:
+    """FLOPs charged for one elementwise op on a scalar or block."""
+    if isinstance(value, np.ndarray):
+        return int(value.size)
+    return 1
+
+
+_BINARY_OPS: Dict[str, Callable] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b if not isinstance(b, float) or b != 0.0 else 0.0,
+    "max": lambda a, b: np.maximum(a, b),
+    "min": lambda a, b: np.minimum(a, b),
+    "bmm": lambda a, b: _block_mm(a, b),
+    "bmt": lambda a, b: _block_mmt(a, b),
+}
+
+
+def _block_mm(a, b):
+    """Block product: matmul for 2-D blocks, scalar multiply otherwise."""
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray) and a.ndim == 2:
+        return a @ b
+    return a * b
+
+
+def _block_mmt(a, b):
+    """Transposed block product ``a @ b.T`` (QK^T in block space)."""
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray) and a.ndim == 2:
+        return a @ b.T
+    return a * b
+
+
+class BinaryALU(Primitive):
+    """Elementwise binary operator over two aligned value streams."""
+
+    kind = "alu"
+    in_ports = ("a", "b")
+    out_ports = ("out",)
+
+    def __init__(self, op: str) -> None:
+        if op not in _BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self._fn = _BINARY_OPS[op]
+
+    def describe(self) -> str:
+        return f"alu({self.op})"
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        a, b = ins["a"], ins["b"]
+        if len(a) != len(b):
+            raise StreamProtocolError(
+                f"alu({self.op}): misaligned inputs ({len(a)} vs {len(b)})"
+            )
+        stats.tokens_in += len(a) + len(b)
+        out: Stream = []
+        fn = self._fn
+        for ta, tb in zip(a, b):
+            ka, kb = ta[0], tb[0]
+            if ka == STOP or ka == DONE:
+                if ta != tb:
+                    raise StreamProtocolError(
+                        f"alu({self.op}): control mismatch {ta} vs {tb}"
+                    )
+                out.append(ta)
+            elif ka == EMPTY and kb == EMPTY:
+                out.append(ta)
+            else:
+                va = _as_value(ta)
+                vb = _as_value(tb)
+                result = fn(va, vb)
+                if self.op in ("bmm", "bmt") and isinstance(result, np.ndarray) and result.ndim == 2:
+                    stats.ops += 2 * result.shape[0] * result.shape[1] * (
+                        va.shape[1] if isinstance(va, np.ndarray) and va.ndim == 2 else 1
+                    )
+                else:
+                    stats.ops += _flops_of(result)
+                out.append((VAL, result))
+        stats.tokens_out += len(out)
+        return {"out": out}
+
+
+def _gelu(x):
+    """tanh approximation of GeLU, numpy-broadcastable."""
+    return 0.5 * x * (1.0 + np.tanh(0.7978845608028654 * (x + 0.044715 * x * x * x)))
+
+
+_UNARY_OPS: Dict[str, Callable] = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "gelu": _gelu,
+    "exp": np.exp,
+    "neg": lambda x: -x,
+    "abs": np.abs,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "tanh": np.tanh,
+    "sqrt": np.sqrt,
+    "identity": lambda x: x,
+    "square": lambda x: x * x,
+}
+
+
+class UnaryALU(Primitive):
+    """Elementwise unary operator, optionally with scale/offset.
+
+    Computes ``f(scale * x + offset)`` per stored value.  Operates on stored
+    (nonzero) values only — the zero-preserving semantics sparse ML relies on
+    (masked entries are absent, not zero-valued).
+    """
+
+    kind = "ualu"
+    in_ports = ("a",)
+    out_ports = ("out",)
+
+    def __init__(self, op: str, scale: float = 1.0, offset: float = 0.0) -> None:
+        if op not in _UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.scale = scale
+        self.offset = offset
+        self._fn = _UNARY_OPS[op]
+
+    def describe(self) -> str:
+        extra = ""
+        if self.scale != 1.0 or self.offset != 0.0:
+            extra = f",{self.scale:g}x+{self.offset:g}"
+        return f"ualu({self.op}{extra})"
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        a = ins["a"]
+        stats.tokens_in += len(a)
+        out: Stream = []
+        for token in a:
+            kind = token[0]
+            if kind == VAL:
+                x = token[1]
+                if self.scale != 1.0 or self.offset != 0.0:
+                    x = self.scale * x + self.offset
+                result = self._fn(x)
+                stats.ops += _flops_of(result)
+                out.append((VAL, result))
+            elif kind == EMPTY:
+                out.append(token)
+            else:
+                out.append(token)
+        stats.tokens_out += len(out)
+        return {"out": out}
+
+
+class ValArray(Primitive):
+    """Fetch values from a tensor's value array given a reference stream.
+
+    EMPTY references produce explicit zero values (union padding).  Blocked
+    tensors return dense numpy blocks.  Reads are charged to DRAM.
+    """
+
+    kind = "array"
+    in_ports = ("ref",)
+    out_ports = ("val",)
+
+    def __init__(self, tensor_name: str, dram: bool = True) -> None:
+        self.tensor_name = tensor_name
+        self.dram = dram
+
+    def describe(self) -> str:
+        return f"array({self.tensor_name})"
+
+    def touches_dram(self) -> bool:
+        return self.dram
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        tensor = ctx.tensor(self.tensor_name)
+        values = tensor.values
+        blocked = values.ndim > 1
+        zero = np.zeros(values.shape[1:]) if blocked else 0.0
+        elem_bytes = int(np.prod(values.shape[1:])) * 8 if blocked else 8
+        out: Stream = []
+        stats.tokens_in += len(ins["ref"])
+        access_bytes = 0
+        for token in ins["ref"]:
+            kind = token[0]
+            if kind == REF:
+                out.append((VAL, values[token[1]]))
+                access_bytes += elem_bytes
+            elif kind == EMPTY:
+                out.append((VAL, zero))
+            elif kind == STOP or kind == DONE:
+                out.append(token)
+            else:
+                raise StreamProtocolError(f"array got unexpected token kind {kind}")
+        if self.dram:
+            footprint = int(values.size) * 8
+            if footprint <= ctx.scratchpad_bytes:
+                # Fits on chip: only compulsory traffic hits DRAM.
+                stats.dram_reads += min(access_bytes, footprint)
+            else:
+                stats.dram_reads += access_bytes
+        stats.tokens_out += len(out)
+        return {"val": out}

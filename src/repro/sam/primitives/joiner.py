@@ -1,0 +1,152 @@
+"""Stream joiners: intersect and union.
+
+Joiners combine two coordinate streams that iterate the same index variable,
+forwarding the payload streams that ride along with each side.  Intersection
+keeps only coordinates present on both sides (multiplication); union keeps
+all coordinates, emitting EMPTY padding on the side that lacks one
+(addition).  Control tokens (stops/done) must agree between the two sides —
+the protocol guarantees this when both streams iterate the same fused index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..token import (
+    CRD,
+    DONE,
+    EMPTY_TOKEN,
+    STOP,
+    Stream,
+    StreamProtocolError,
+)
+from .base import ExecutionContext, NodeStats, Primitive
+
+
+def _require_aligned(stream_a: Stream, stream_b: Stream, who: str) -> None:
+    if len(stream_a) != len(stream_b):
+        raise StreamProtocolError(
+            f"{who}: crd and companion stream lengths differ "
+            f"({len(stream_a)} vs {len(stream_b)})"
+        )
+
+
+class Intersect(Primitive):
+    """Two-sided coordinate intersection.
+
+    Ports: ``crd_a``/``ref_a`` and ``crd_b``/``ref_b`` in; ``crd``, ``ref_a``,
+    ``ref_b`` out.  The ``ref`` streams are positionally aligned with their
+    ``crd`` streams and may carry references *or* values (fused intermediate
+    value streams are filtered the same way).
+    """
+
+    kind = "intersect"
+    in_ports = ("crd_a", "ref_a", "crd_b", "ref_b")
+    out_ports = ("crd", "ref_a", "ref_b")
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        crd_a, ref_a = ins["crd_a"], ins["ref_a"]
+        crd_b, ref_b = ins["crd_b"], ins["ref_b"]
+        _require_aligned(crd_a, ref_a, "intersect(a)")
+        _require_aligned(crd_b, ref_b, "intersect(b)")
+        stats.tokens_in += len(crd_a) + len(crd_b) + len(ref_a) + len(ref_b)
+
+        out_crd: Stream = []
+        out_ra: Stream = []
+        out_rb: Stream = []
+        ia = ib = 0
+        while ia < len(crd_a) and ib < len(crd_b):
+            ta, tb = crd_a[ia], crd_b[ib]
+            ka, kb = ta[0], tb[0]
+            if ka == CRD and kb == CRD:
+                if ta[1] == tb[1]:
+                    out_crd.append(ta)
+                    out_ra.append(ref_a[ia])
+                    out_rb.append(ref_b[ib])
+                    ia += 1
+                    ib += 1
+                elif ta[1] < tb[1]:
+                    ia += 1
+                else:
+                    ib += 1
+            elif ka == CRD:
+                ia += 1  # drain a until its control token
+            elif kb == CRD:
+                ib += 1
+            else:
+                # Both control: must agree.
+                if ta != tb:
+                    raise StreamProtocolError(
+                        f"intersect control mismatch: {ta} vs {tb}"
+                    )
+                out_crd.append(ta)
+                out_ra.append(ta)
+                out_rb.append(ta)
+                ia += 1
+                ib += 1
+                if ka == DONE:
+                    break
+        stats.tokens_out += len(out_crd) + len(out_ra) + len(out_rb)
+        return {"crd": out_crd, "ref_a": out_ra, "ref_b": out_rb}
+
+
+class Union(Primitive):
+    """Two-sided coordinate union with EMPTY padding for absent sides."""
+
+    kind = "union"
+    in_ports = ("crd_a", "ref_a", "crd_b", "ref_b")
+    out_ports = ("crd", "ref_a", "ref_b")
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        crd_a, ref_a = ins["crd_a"], ins["ref_a"]
+        crd_b, ref_b = ins["crd_b"], ins["ref_b"]
+        _require_aligned(crd_a, ref_a, "union(a)")
+        _require_aligned(crd_b, ref_b, "union(b)")
+        stats.tokens_in += len(crd_a) + len(crd_b) + len(ref_a) + len(ref_b)
+
+        out_crd: Stream = []
+        out_ra: Stream = []
+        out_rb: Stream = []
+        ia = ib = 0
+        while ia < len(crd_a) and ib < len(crd_b):
+            ta, tb = crd_a[ia], crd_b[ib]
+            ka, kb = ta[0], tb[0]
+            if ka == CRD and kb == CRD:
+                if ta[1] == tb[1]:
+                    out_crd.append(ta)
+                    out_ra.append(ref_a[ia])
+                    out_rb.append(ref_b[ib])
+                    ia += 1
+                    ib += 1
+                elif ta[1] < tb[1]:
+                    out_crd.append(ta)
+                    out_ra.append(ref_a[ia])
+                    out_rb.append(EMPTY_TOKEN)
+                    ia += 1
+                else:
+                    out_crd.append(tb)
+                    out_ra.append(EMPTY_TOKEN)
+                    out_rb.append(ref_b[ib])
+                    ib += 1
+            elif ka == CRD:
+                out_crd.append(ta)
+                out_ra.append(ref_a[ia])
+                out_rb.append(EMPTY_TOKEN)
+                ia += 1
+            elif kb == CRD:
+                out_crd.append(tb)
+                out_ra.append(EMPTY_TOKEN)
+                out_rb.append(ref_b[ib])
+                ib += 1
+            else:
+                if ta != tb:
+                    raise StreamProtocolError(f"union control mismatch: {ta} vs {tb}")
+                out_crd.append(ta)
+                out_ra.append(ta)
+                out_rb.append(ta)
+                ia += 1
+                ib += 1
+                if ka == DONE:
+                    break
+        stats.tokens_out += len(out_crd) + len(out_ra) + len(out_rb)
+        return {"crd": out_crd, "ref_a": out_ra, "ref_b": out_rb}

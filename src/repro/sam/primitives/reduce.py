@@ -1,0 +1,256 @@
+"""Reduction primitives: scalar reducers and higher-order (vector) reducers.
+
+The scalar :class:`Reduce` sums the values of each innermost fiber, removing
+one nesting level.  The :class:`VectorReducer` is the SAMML abstraction that
+enables *factored iteration* (Sections 3 and 6 of the paper): it reduces a
+non-innermost index by keeping accumulators keyed by the inner output
+coordinates, and at each reduction boundary emits coordinate streams plus a
+value stream.  Those streams flow to the input iteration of subsequent
+operations — the interleaving of iteration and computation that
+distinguishes FuseFlow's lowering from prior global-iteration compilers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..token import (
+    CRD,
+    DONE,
+    DONE_TOKEN,
+    EMPTY,
+    STOP,
+    VAL,
+    Stream,
+    StreamProtocolError,
+)
+from .base import ExecutionContext, NodeStats, Primitive
+
+
+class Reduce(Primitive):
+    """Sum values within each innermost fiber (removes one stop level).
+
+    One value is emitted per closed fiber — zero for empty fibers — keeping
+    the output aligned with the surrounding coordinate streams; explicit
+    zeros are elided later by the coordinate dropper / tensor writer.
+    """
+
+    kind = "reduce"
+    in_ports = ("val",)
+    out_ports = ("val",)
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        out: Stream = []
+        acc: Any = None
+        stats.tokens_in += len(ins["val"])
+        for token in ins["val"]:
+            kind = token[0]
+            if kind == VAL:
+                if acc is None:
+                    acc = token[1]
+                else:
+                    acc = acc + token[1]
+                    stats.ops += 1 if not isinstance(acc, np.ndarray) else int(acc.size)
+            elif kind == EMPTY:
+                if acc is None:
+                    acc = 0.0
+            elif kind == STOP:
+                out.append((VAL, acc if acc is not None else 0.0))
+                acc = None
+                if token[1] > 0:
+                    out.append((STOP, token[1] - 1))
+            elif kind == DONE:
+                if acc is not None:
+                    out.append((VAL, acc))
+                    acc = None
+                out.append(DONE_TOKEN)
+            else:
+                raise StreamProtocolError(f"reduce got unexpected token kind {kind}")
+        stats.tokens_out += len(out)
+        return {"val": out}
+
+
+class VectorReducer(Primitive):
+    """Higher-order reduction over a non-innermost index variable.
+
+    Reduces an index that has ``order`` output indices nested below it by
+    keeping accumulators keyed by the tuple of inner coordinates (a vector
+    for order 1, a tensor for order n).
+
+    Inputs: ``crd0`` .. ``crd{order-1}`` coordinate streams — each broadcast
+    (coordinate-held) so it aligns 1:1 with ``val`` — plus the ``val``
+    stream, whose nesting is ``[...outer][red][inner0 .. inner{order-1}]``.
+    Stop levels below ``order`` are fiber boundaries *within* one reduction
+    group and are absorbed; a stop of level ``s >= order`` closes the
+    reduction fiber: the accumulator flushes as a sorted nested fiber group.
+
+    Outputs: ``crd0`` .. ``crd{order-1}`` at their natural nesting depths
+    (``crd_d`` emits one coordinate per distinct length-``d+1`` key prefix)
+    plus the reduced ``val`` stream aligned with ``crd{order-1}``.  At a
+    flush triggered by input stop ``s``, stream ``crd_d`` closes with
+    ``stop(d + s - order)`` and ``val`` with ``stop(s - 1)`` — the reduced
+    level disappears from the nesting.
+    """
+
+    kind = "vreduce"
+
+    def __init__(self, order: int = 1) -> None:
+        if order < 1:
+            raise ValueError("vector reducer order must be >= 1")
+        self.order = order
+        self.in_ports = tuple(f"crd{d}" for d in range(order)) + ("val",)
+        self.out_ports = tuple(f"crd{d}" for d in range(order)) + ("val",)
+
+    def describe(self) -> str:
+        return f"vreduce(order={self.order})"
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        n = self.order
+        val_in = ins["val"]
+        crd_ins = [ins[f"crd{d}"] for d in range(n)]
+        for d, stream in enumerate(crd_ins):
+            if len(stream) != len(val_in):
+                raise StreamProtocolError(
+                    f"vreduce: crd{d}/val misaligned ({len(stream)} vs {len(val_in)})"
+                )
+        stats.tokens_in += len(val_in) * (n + 1)
+
+        out_crds: List[Stream] = [[] for _ in range(n)]
+        out_val: Stream = []
+        acc: Dict[Tuple[int, ...], Any] = {}
+
+        def emit_group() -> None:
+            """Emit sorted accumulator contents as nested fibers (no trailing stop)."""
+            keys = sorted(acc)
+            prev: Tuple[int, ...] | None = None
+            for key in keys:
+                if prev is not None:
+                    common = 0
+                    while common < n and prev[common] == key[common]:
+                        common += 1
+                    # Stream d closes fibers when a level above it changed.
+                    for d in range(n):
+                        if common <= d - 1:
+                            out_crds[d].append((STOP, d - 1 - common))
+                    if common <= n - 2:
+                        out_val.append((STOP, n - 2 - common))
+                for d in range(n):
+                    if prev is None or key[: d + 1] != prev[: d + 1]:
+                        out_crds[d].append((CRD, key[d]))
+                out_val.append((VAL, acc[key]))
+                prev = key
+            acc.clear()
+
+        def close_group(input_stop_level: int) -> None:
+            """Append the flush-closing stops for input stop ``s``."""
+            extra = input_stop_level - n
+            for d in range(n):
+                out_crds[d].append((STOP, d + extra))
+            out_val.append((STOP, input_stop_level - 1))
+
+        for pos, tv in enumerate(val_in):
+            kv = tv[0]
+            if kv == VAL or kv == EMPTY:
+                key: List[int] = []
+                for d in range(n):
+                    tc = crd_ins[d][pos]
+                    if tc[0] != CRD:
+                        raise StreamProtocolError(
+                            f"vreduce: crd{d} token {tc} does not align with value"
+                        )
+                    key.append(tc[1])
+                key_t = tuple(key)
+                value = 0.0 if kv == EMPTY else tv[1]
+                if key_t in acc:
+                    acc[key_t] = acc[key_t] + value
+                    stats.ops += int(value.size) if isinstance(value, np.ndarray) else 1
+                else:
+                    acc[key_t] = value
+            elif kv == STOP:
+                level = tv[1]
+                for d in range(n):
+                    tc = crd_ins[d][pos]
+                    if tc[0] != STOP or tc[1] != level:
+                        raise StreamProtocolError("vreduce: stop tokens disagree")
+                if level >= n:
+                    emit_group()
+                    close_group(level)
+                # Stops below the reduction boundary are absorbed.
+            elif kv == DONE:
+                if acc:
+                    emit_group()
+                    close_group(n)
+                for d in range(n):
+                    out_crds[d].append(DONE_TOKEN)
+                out_val.append(DONE_TOKEN)
+            else:
+                raise StreamProtocolError(f"vreduce got unexpected token kind {kv}")
+        stats.tokens_out += sum(len(s) for s in out_crds) + len(out_val)
+        outs: Dict[str, Stream] = {f"crd{d}": out_crds[d] for d in range(n)}
+        outs["val"] = out_val
+        return outs
+
+
+class CrdDrop(Primitive):
+    """Drop zero-valued entries from aligned (crd, val) innermost streams.
+
+    Implements SAM's coordinate dropper at the value granularity: explicit
+    zeros produced by reductions over empty intersections are removed before
+    tensor construction.
+    """
+
+    kind = "crddrop"
+    in_ports = ("crd", "val")
+    out_ports = ("crd", "val")
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        crd_in, val_in = ins["crd"], ins["val"]
+        if len(crd_in) != len(val_in):
+            raise StreamProtocolError("crddrop: crd/val misaligned")
+        stats.tokens_in += len(crd_in) + len(val_in)
+        out_crd: Stream = []
+        out_val: Stream = []
+        for tc, tv in zip(crd_in, val_in):
+            if tc[0] == CRD:
+                value = tv[1]
+                is_zero = (
+                    float(np.abs(value).max()) == 0.0
+                    if isinstance(value, np.ndarray)
+                    else value == 0.0
+                )
+                if not is_zero:
+                    out_crd.append(tc)
+                    out_val.append(tv)
+            else:
+                out_crd.append(tc)
+                out_val.append(tv)
+        stats.tokens_out += len(out_crd) + len(out_val)
+        return {"crd": out_crd, "val": out_val}
+
+
+class AlignCheck(Primitive):
+    """Assert two coordinate streams are identical, passing the first through.
+
+    Inserted where the lowering adopts one intermediate's iteration for
+    several structurally aligned operands (e.g., elementwise adds of two
+    intermediates produced over the same dense row space).  A mismatch means
+    the schedule needed a materialization — failing loudly here turns a
+    silent wrong answer into a diagnosable error.
+    """
+
+    kind = "aligncheck"
+    in_ports = ("a", "b")
+    out_ports = ("out",)
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        a, b = ins["a"], ins["b"]
+        stats.tokens_in += len(a) + len(b)
+        if a != b:
+            raise StreamProtocolError(
+                "aligned-adopt streams differ; the fusion schedule requires a "
+                "materialization boundary between these statements"
+            )
+        stats.tokens_out += len(a)
+        return {"out": list(a)}

@@ -1,0 +1,165 @@
+"""Repeaters: broadcast a stream across the coordinates of another.
+
+A repeater re-emits its current *base* token (a reference or value) once per
+coordinate of the *rep* (repeat-signal) stream, advancing to the next base
+token at each fiber boundary of the rep stream.  The emitted control
+structure comes entirely from the rep stream, which is how SAM broadcasts an
+operand across index variables it does not itself carry (e.g., repeating
+matrix ``X``'s root reference across every row coordinate ``i`` of ``A``
+in SpMM, Figure 9 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..token import (
+    CRD,
+    DONE,
+    DONE_TOKEN,
+    EMPTY,
+    REF,
+    STOP,
+    VAL,
+    Stream,
+    StreamProtocolError,
+    Token,
+)
+from .base import ExecutionContext, NodeStats, Primitive
+
+
+def _payloads(stream: Stream) -> Iterator[Token]:
+    """Yield only payload-carrying tokens of ``stream``."""
+    for token in stream:
+        kind = token[0]
+        if kind == REF or kind == VAL or kind == EMPTY or kind == CRD:
+            yield token
+
+
+class Repeat(Primitive):
+    """Repeat base tokens per rep-stream coordinate.
+
+    Ports: ``base`` (refs, values, or coordinates to broadcast) and ``rep``
+    (a coordinate stream one nesting level deeper that defines the
+    repetition structure) in; ``out`` out.
+
+    The two streams are related by construction: the rep stream contains one
+    fiber per base payload token, and a rep stop of level ``n + 1`` mirrors a
+    base stop of level ``n``.  The repeater walks both streams in lockstep:
+
+    * rep CRD: emit the current base payload;
+    * rep STOP(0): emit it and consume one base payload;
+    * rep STOP(n >= 1): emit it, consume one base payload if one is current,
+      then consume the base's matching STOP(n - 1);
+    * rep DONE: emit done (base must be at its done token).
+
+    This disambiguates empty fibers on either side (an empty base segment
+    and an empty repeated fiber produce identical rep-token patterns but
+    different base cursor states).
+    """
+
+    kind = "repeat"
+    in_ports = ("base", "rep")
+    out_ports = ("out",)
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        base, rep = ins["base"], ins["rep"]
+        stats.tokens_in += len(base) + len(rep)
+        out: Stream = []
+        bi = 0
+
+        def base_kind() -> int:
+            return base[bi][0] if bi < len(base) else DONE
+
+        for token in rep:
+            kind = token[0]
+            if kind == CRD:
+                bk = base_kind()
+                if bk == STOP or bk == DONE:
+                    raise StreamProtocolError(
+                        "repeat: rep stream has coordinates but base has none current"
+                    )
+                out.append(base[bi])
+            elif kind == STOP:
+                out.append(token)
+                bk = base_kind()
+                if bk != STOP and bk != DONE:
+                    bi += 1  # consume the payload this fiber repeated
+                if token[1] >= 1:
+                    if base_kind() != STOP:
+                        raise StreamProtocolError(
+                            f"repeat: rep stop {token[1]} expects a base stop "
+                            f"{token[1] - 1}, found {base[bi] if bi < len(base) else 'EOS'}"
+                        )
+                    if base[bi][1] != token[1] - 1:
+                        raise StreamProtocolError(
+                            f"repeat: rep stop {token[1]} mismatches base stop "
+                            f"{base[bi][1]}"
+                        )
+                    bi += 1
+            elif kind == DONE:
+                out.append(DONE_TOKEN)
+            else:
+                raise StreamProtocolError(
+                    f"repeat: unexpected token kind {kind} on rep stream"
+                )
+        stats.tokens_out += len(out)
+        return {"out": out}
+
+
+class RepeatSigGen(Primitive):
+    """Identity view of a coordinate stream used as a repeat signal.
+
+    SAM separates repeat-signal generation from repetition; in this
+    implementation the signal *is* the coordinate stream, so the generator is
+    a pass-through kept for graph fidelity (it shows up as an explicit node
+    in generated graphs, mirroring the paper's diagrams).
+    """
+
+    kind = "repsig"
+    in_ports = ("crd",)
+    out_ports = ("out",)
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        stream = list(ins["crd"])
+        stats.tokens_in += len(stream)
+        stats.tokens_out += len(stream)
+        return {"out": stream}
+
+
+class ScalarRepeat(Primitive):
+    """Broadcast a single payload across every coordinate of a rep stream.
+
+    Used when a rebuilt (recompute-fused) producer pulls an operand that does
+    not carry the driver index: the operand's root reference is broadcast to
+    every position of the driver's (arbitrarily deeply nested) coordinate
+    stream.  Stops and done pass through unchanged.
+    """
+
+    kind = "srepeat"
+    op_class = "repeat"
+    in_ports = ("base", "rep")
+    out_ports = ("out",)
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        base, rep = ins["base"], ins["rep"]
+        stats.tokens_in += len(base) + len(rep)
+        payloads = [t for t in base if t[0] not in (STOP, DONE)]
+        if len(payloads) != 1:
+            raise StreamProtocolError(
+                f"scalar repeat expects exactly one base payload, got {len(payloads)}"
+            )
+        payload = payloads[0]
+        out: Stream = []
+        for token in rep:
+            kind = token[0]
+            if kind == CRD:
+                out.append(payload)
+            elif kind == STOP or kind == DONE:
+                out.append(token)
+            else:
+                raise StreamProtocolError(
+                    f"scalar repeat: unexpected token kind {kind} on rep stream"
+                )
+        stats.tokens_out += len(out)
+        return {"out": out}

@@ -1,0 +1,194 @@
+"""Input-iteration primitives: root sources, level scanners, and locate.
+
+A *level scanner* traverses one level of a tensor's fibertree.  It receives a
+stream of references to fibers in its level and emits, for each reference,
+the fiber's coordinates (``crd`` port) and child references (``ref`` port).
+Stop tokens from the input are re-emitted one level deeper; every opened
+fiber is closed by a stop before the stream terminates, matching the SAM
+protocol (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..token import (
+    CRD,
+    DONE,
+    DONE_TOKEN,
+    EMPTY,
+    EMPTY_TOKEN,
+    REF,
+    STOP,
+    Stream,
+    StreamProtocolError,
+)
+from .base import ExecutionContext, NodeStats, Primitive
+
+
+class Root(Primitive):
+    """Emits the root reference stream ``ref(0) D`` that starts iteration."""
+
+    kind = "root"
+    in_ports = ()
+    out_ports = ("ref",)
+
+    def process(self, ins, ctx, stats) -> Dict[str, Stream]:
+        out: Stream = [(REF, 0), DONE_TOKEN]
+        stats.tokens_out += len(out)
+        return {"ref": out}
+
+
+class LevelScanner(Primitive):
+    """Scan one storage level of a named tensor.
+
+    Parameters
+    ----------
+    tensor_name:
+        Name bound to a :class:`~repro.ftree.tensor.SparseTensor` at run time.
+    level:
+        Storage level index this scanner traverses.
+    dram:
+        Whether the tensor structure resides off-chip; compressed levels then
+        charge 4 bytes per pos/crd touch to DRAM.
+    """
+
+    kind = "scan"
+    in_ports = ("ref",)
+    out_ports = ("crd", "ref")
+
+    def __init__(self, tensor_name: str, level: int, dram: bool = True) -> None:
+        self.tensor_name = tensor_name
+        self.level = level
+        self.dram = dram
+
+    def describe(self) -> str:
+        return f"scan({self.tensor_name}.L{self.level})"
+
+    def touches_dram(self) -> bool:
+        return self.dram
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        tensor = ctx.tensor(self.tensor_name)
+        level = tensor.levels[self.level]
+        compressed = level.kind == "compressed"
+        crd_out: Stream = []
+        ref_out: Stream = []
+        open_fiber = False
+        access_bytes = 0
+        stats.tokens_in += len(ins["ref"])
+        for token in ins["ref"]:
+            kind, payload = token
+            if kind == REF:
+                if open_fiber:
+                    crd_out.append((STOP, 0))
+                    ref_out.append((STOP, 0))
+                coords, children = level.fiber(payload)
+                for c, child in zip(coords, children):
+                    crd_out.append((CRD, c))
+                    ref_out.append((REF, child))
+                if compressed and self.dram:
+                    # pos pair + one crd entry per nonzero, 4 bytes each.
+                    access_bytes += 8 + 4 * len(list(coords))
+                open_fiber = True
+            elif kind == EMPTY:
+                if open_fiber:
+                    crd_out.append((STOP, 0))
+                    ref_out.append((STOP, 0))
+                open_fiber = True
+            elif kind == STOP:
+                crd_out.append((STOP, payload + 1))
+                ref_out.append((STOP, payload + 1))
+                open_fiber = False
+            elif kind == DONE:
+                if open_fiber:
+                    crd_out.append((STOP, 0))
+                    ref_out.append((STOP, 0))
+                crd_out.append(DONE_TOKEN)
+                ref_out.append(DONE_TOKEN)
+            else:
+                raise StreamProtocolError(f"scanner got unexpected token kind {kind}")
+        if compressed and self.dram:
+            footprint = tensor.bytes_structure()
+            if footprint <= ctx.scratchpad_bytes:
+                stats.dram_reads += min(access_bytes, footprint)
+            else:
+                stats.dram_reads += access_bytes
+        stats.tokens_out += len(crd_out) + len(ref_out)
+        return {"crd": crd_out, "ref": ref_out}
+
+
+class Locate(Primitive):
+    """Map coordinate tokens to references within one tensor level.
+
+    Used by recompute-style fusion: a consumer's coordinate stream drives a
+    producer's outer level.  For dense levels a coordinate *is* the position
+    offset; for compressed levels a binary search over each parent fiber is
+    modeled (and charged as structure reads).
+
+    The input coordinates address fibers under parent position ``parent``
+    (default 0, i.e. the level is the outermost one).
+    """
+
+    kind = "locate"
+    in_ports = ("crd",)
+    out_ports = ("ref",)
+
+    def __init__(self, tensor_name: str, level: int, dram: bool = True) -> None:
+        self.tensor_name = tensor_name
+        self.level = level
+        self.dram = dram
+
+    def describe(self) -> str:
+        return f"locate({self.tensor_name}.L{self.level})"
+
+    def touches_dram(self) -> bool:
+        return self.dram
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        tensor = ctx.tensor(self.tensor_name)
+        level = tensor.levels[self.level]
+        out: Stream = []
+        stats.tokens_in += len(ins["crd"])
+        for token in ins["crd"]:
+            kind, payload = token
+            if kind == CRD:
+                if level.kind == "dense":
+                    out.append((REF, payload))
+                else:
+                    coords, children = level.fiber(0)
+                    found = False
+                    for c, child in zip(coords, children):
+                        if c == payload:
+                            out.append((REF, child))
+                            found = True
+                            break
+                    if not found:
+                        out.append(EMPTY_TOKEN)
+                    if self.dram:
+                        stats.dram_reads += 8
+            elif kind in (STOP, DONE, EMPTY):
+                out.append(token)
+            else:
+                raise StreamProtocolError(f"locate got unexpected token kind {kind}")
+        stats.tokens_out += len(out)
+        return {"ref": out}
+
+
+class CrdSource(Primitive):
+    """Replay a precomputed stream (used to stitch kernels and in tests)."""
+
+    kind = "source"
+    in_ports = ()
+    out_ports = ("out",)
+
+    def __init__(self, stream: Stream, label: str = "stream") -> None:
+        self.stream = list(stream)
+        self.label = label
+
+    def describe(self) -> str:
+        return f"source({self.label})"
+
+    def process(self, ins, ctx, stats) -> Dict[str, Stream]:
+        stats.tokens_out += len(self.stream)
+        return {"out": list(self.stream)}

@@ -1,0 +1,92 @@
+"""Tensor construction: level writers assembling output fibertrees.
+
+The :class:`TensorWriter` consumes one coordinate stream per output level
+plus the final value stream, reconstructs the coordinate paths, drops
+explicit zeros (coordinate-dropper semantics), and assembles a
+:class:`~repro.ftree.tensor.SparseTensor` in the requested output format.
+Writes are charged to DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ...ftree.format import Format
+from ...ftree.tensor import SparseTensor
+from ..token import Stream, StreamProtocolError, stream_to_nest
+from .base import ExecutionContext, NodeStats, Primitive
+
+
+class TensorWriter(Primitive):
+    """Assemble an output tensor from level crd streams and a val stream.
+
+    Ports: ``crd0`` .. ``crd{n-1}`` (outer to inner) and ``val``.  The
+    streams must share the nesting produced by the graph's fused iteration:
+    the crd stream for level ``d`` has nesting depth ``d + 1`` and aligns
+    positionally with the levels above it.
+    """
+
+    kind = "write"
+    out_ports = ("tensor",)
+
+    def __init__(
+        self,
+        tensor_name: str,
+        shape: Tuple[int, ...],
+        fmt: Format,
+        dram: bool = True,
+        drop_zeros: bool = True,
+    ) -> None:
+        self.tensor_name = tensor_name
+        self.shape = tuple(shape)
+        self.fmt = fmt
+        self.dram = dram
+        self.drop_zeros = drop_zeros
+        self.in_ports = tuple(f"crd{d}" for d in range(len(shape))) + ("val",)
+
+    def describe(self) -> str:
+        return f"write({self.tensor_name})"
+
+    def touches_dram(self) -> bool:
+        return self.dram
+
+    def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
+        n = len(self.shape)
+        stats.tokens_in += sum(len(s) for s in ins.values())
+        nests = [stream_to_nest(ins[f"crd{d}"], d + 1) for d in range(n)]
+        val_nest = stream_to_nest(ins["val"], n)
+        coords: Dict[Tuple[int, ...], Any] = {}
+
+        def rec(depth: int, frames: List[Any], vals: Any, prefix: Tuple[int, ...]) -> None:
+            coords_here = frames[0]
+            if len(coords_here) != len(vals):
+                raise StreamProtocolError(
+                    f"writer {self.tensor_name}: level {depth} crd/val fan-out "
+                    f"mismatch ({len(coords_here)} vs {len(vals)})"
+                )
+            for i, c in enumerate(coords_here):
+                path = prefix + (c,)
+                if depth == n - 1:
+                    coords[path] = vals[i]
+                else:
+                    rec(depth + 1, [f[i] for f in frames[1:]], vals[i], path)
+
+        rec(0, nests, val_nest, ())
+        if self.drop_zeros:
+            coords = {
+                p: v
+                for p, v in coords.items()
+                if (np.abs(v).max() if isinstance(v, np.ndarray) else abs(v)) != 0.0
+            }
+        tensor = SparseTensor.from_coords(
+            self.shape, self.fmt, coords, name=self.tensor_name
+        )
+        if self.dram:
+            stats.dram_writes += tensor.bytes_total()
+        ctx.results[self.tensor_name] = tensor
+        # Emit a sentinel stream so the writer participates in timing.
+        out: Stream = []
+        stats.tokens_out += len(out)
+        return {"tensor": out}

@@ -1,0 +1,258 @@
+"""Stream token protocol of the Sparse Abstract Machine (SAM).
+
+SAM expresses tensors as *streams* of tokens flowing between dataflow
+primitives.  A stream transmits one level of a tensor in fibertree form: a
+sequence of payload tokens (coordinates, references, or values) punctuated by
+*stop* tokens that close fibers and terminated by a single *done* token.
+
+Token encoding
+--------------
+Tokens are plain tuples ``(kind, payload)`` for speed.  Kinds:
+
+``CRD``
+    A coordinate within the current fiber.
+``REF``
+    A reference (position) into the next tensor level, or into a value array.
+``VAL``
+    A numeric value (Python float/int or a numpy block for blocked formats).
+``STOP``
+    ``stop(n)`` closes ``n + 1`` nested fibers: ``S0`` ends the current fiber,
+    ``S1`` ends the current fiber and its parent, and so on.
+``DONE``
+    Terminates the stream.  Every well-formed stream ends with exactly one.
+``EMPTY``
+    A padding token emitted by union joiners for the side that is missing a
+    coordinate; value arrays translate it to an explicit zero.
+
+The module also provides helpers to validate streams and to convert between
+nested Python lists (fibertree-shaped data) and streams, which the test suite
+uses heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+# Token kinds.  Kept as small ints because streams can be long.
+CRD = 0
+REF = 1
+VAL = 2
+STOP = 3
+DONE = 4
+EMPTY = 5
+
+_KIND_NAMES = {CRD: "crd", REF: "ref", VAL: "val", STOP: "S", DONE: "D", EMPTY: "N"}
+
+Token = Tuple[int, Any]
+Stream = List[Token]
+
+# Singletons for payload-free tokens.
+DONE_TOKEN: Token = (DONE, None)
+EMPTY_TOKEN: Token = (EMPTY, None)
+
+
+def crd(c: int) -> Token:
+    """Build a coordinate token."""
+    return (CRD, c)
+
+
+def ref(r: Any) -> Token:
+    """Build a reference token (an integer position or an opaque handle)."""
+    return (REF, r)
+
+
+def val(v: Any) -> Token:
+    """Build a value token (scalar or numpy block)."""
+    return (VAL, v)
+
+
+def stop(level: int) -> Token:
+    """Build a stop token closing ``level + 1`` fibers."""
+    if level < 0:
+        raise ValueError(f"stop level must be non-negative, got {level}")
+    return (STOP, level)
+
+
+def done() -> Token:
+    """Return the stream-terminating done token."""
+    return DONE_TOKEN
+
+
+def empty() -> Token:
+    """Return the empty (padding) token."""
+    return EMPTY_TOKEN
+
+
+def is_control(token: Token) -> bool:
+    """Return True for stop/done tokens, which carry no payload data."""
+    return token[0] == STOP or token[0] == DONE
+
+
+def is_payload(token: Token) -> bool:
+    """Return True for crd/ref/val/empty tokens."""
+    kind = token[0]
+    return kind == CRD or kind == REF or kind == VAL or kind == EMPTY
+
+
+def token_str(token: Token) -> str:
+    """Render one token compactly, e.g. ``3``, ``S0``, ``D``."""
+    kind, payload = token
+    if kind == STOP:
+        return f"S{payload}"
+    if kind == DONE:
+        return "D"
+    if kind == EMPTY:
+        return "N"
+    return str(payload)
+
+
+def pretty(stream: Iterable[Token]) -> str:
+    """Render a stream as a single human-readable line."""
+    return " ".join(token_str(tok) for tok in stream)
+
+
+class StreamProtocolError(ValueError):
+    """Raised when a stream violates the SAM token protocol."""
+
+
+def check_stream(stream: Sequence[Token], *, allow_empty_tokens: bool = True) -> None:
+    """Validate the SAM protocol invariants for ``stream``.
+
+    Invariants checked:
+
+    * the stream is non-empty and ends with exactly one done token;
+    * no token follows the done token;
+    * stop levels are non-negative integers;
+    * if ``allow_empty_tokens`` is False, no EMPTY tokens appear.
+    """
+    if not stream:
+        raise StreamProtocolError("stream is empty (missing done token)")
+    if stream[-1][0] != DONE:
+        raise StreamProtocolError(f"stream does not end with done: {pretty(stream[-5:])}")
+    for i, token in enumerate(stream):
+        kind = token[0]
+        if kind == DONE and i != len(stream) - 1:
+            raise StreamProtocolError(f"done token at position {i} is not last")
+        if kind == STOP and (not isinstance(token[1], int) or token[1] < 0):
+            raise StreamProtocolError(f"bad stop level {token[1]!r} at position {i}")
+        if kind == EMPTY and not allow_empty_tokens:
+            raise StreamProtocolError(f"unexpected empty token at position {i}")
+
+
+def payload_tokens(stream: Iterable[Token]) -> List[Any]:
+    """Return the payloads of all non-control tokens, in order."""
+    return [tok[1] for tok in stream if is_payload(tok)]
+
+
+def segments(stream: Sequence[Token], level: int = 0) -> Iterator[List[Token]]:
+    """Split ``stream`` into segments closed by stops of level >= ``level``.
+
+    Each yielded segment contains the payload and lower-level stop tokens
+    belonging to one fiber at the requested nesting depth.  The done token is
+    not included in any segment; a trailing segment before done is yielded
+    even when it was not explicitly closed by a stop.
+    """
+    current: List[Token] = []
+    saw_any = False
+    for token in stream:
+        kind = token[0]
+        if kind == DONE:
+            if current or saw_any is False:
+                yield current
+            return
+        saw_any = True
+        if kind == STOP and token[1] >= level:
+            yield current
+            current = []
+        else:
+            current.append(token)
+    raise StreamProtocolError("stream not terminated with done token")
+
+
+def nest_to_stream(nested: Any, kind: int = VAL) -> Stream:
+    """Convert a nested list (fibertree-shaped data) into a token stream.
+
+    Follows the full-closure convention: every fiber (including the
+    outermost) is closed by a stop, with consecutive closures merged into a
+    single deeper stop.  ``[[a, b], [c]]`` becomes ``a b S0 c S1 D``.
+    """
+    out: Stream = []
+
+    def emit(node: Any) -> None:
+        if not isinstance(node, list):
+            out.append((kind, node))
+            return
+        for child in node:
+            emit(child)
+        if node and isinstance(node[-1], list):
+            # The last child closed itself: deepen its stop (merged closure).
+            out[-1] = (STOP, out[-1][1] + 1)
+        else:
+            # Leaf children or an empty fiber: emit this fiber's own stop.
+            out.append((STOP, 0))
+
+    emit(nested)
+    out.append(DONE_TOKEN)
+    return out
+
+
+def stream_to_nest(stream: Sequence[Token], depth: int) -> Any:
+    """Convert a token stream back into a nested list of ``depth`` levels.
+
+    Inverse of :func:`nest_to_stream` for canonical streams that follow the
+    full-closure convention (every fiber, including the outermost, is closed
+    by a stop before done).  ``depth`` is the number of nesting levels: a
+    flat stream like ``a b S0 D`` has depth 1 and yields ``[a, b]``.
+    """
+    check_stream(stream)
+    # stack[0] is the root fiber; stack[depth-1] the innermost open fiber.
+    stack: List[List[Any]] = [[] for _ in range(depth)]
+    closed_root = False
+    for token in stream:
+        kind, payload = token
+        if kind == DONE:
+            break
+        if kind == STOP:
+            close = payload + 1
+            if close > depth:
+                raise StreamProtocolError(
+                    f"stop level {payload} too deep for nest depth {depth}"
+                )
+            for lvl in range(close):
+                idx = depth - 1 - lvl
+                if idx >= 1:
+                    stack[idx - 1].append(stack[idx])
+                    stack[idx] = []
+                else:
+                    closed_root = True
+        else:
+            if closed_root:
+                raise StreamProtocolError("payload token after root closure")
+            stack[-1].append(payload)
+    if not closed_root:
+        # Tolerate streams missing the final closure (fold open fibers up).
+        for lvl in range(depth - 1):
+            idx = depth - 1 - lvl
+            if stack[idx]:
+                stack[idx - 1].append(stack[idx])
+                stack[idx] = []
+    return stack[0]
+
+
+def strip_done(stream: Sequence[Token]) -> List[Token]:
+    """Return ``stream`` without its trailing done token."""
+    if stream and stream[-1][0] == DONE:
+        return list(stream[:-1])
+    return list(stream)
+
+
+def append_done(stream: List[Token]) -> List[Token]:
+    """Return ``stream`` with a done token appended (idempotent)."""
+    if stream and stream[-1][0] == DONE:
+        return stream
+    return stream + [DONE_TOKEN]
+
+
+def count_kind(stream: Iterable[Token], kind: int) -> int:
+    """Count tokens of a given kind in a stream."""
+    return sum(1 for tok in stream if tok[0] == kind)

@@ -1,0 +1,170 @@
+"""Einsum IR and parser tests."""
+
+import pytest
+
+from repro.core.einsum.ast import (
+    Access,
+    EinsumError,
+    EinsumProgram,
+    Statement,
+)
+from repro.core.einsum.parser import parse_program
+from repro.ftree import csr, dense
+
+
+class TestStatement:
+    def test_reduction_indices(self):
+        stmt = Statement(
+            lhs=Access("T", ("i", "j")),
+            kind="contract",
+            op="mul",
+            operands=(Access("A", ("i", "k")), Access("B", ("k", "j"))),
+        )
+        assert stmt.reduction_indices() == ("k",)
+        assert stmt.all_indices() == ("i", "j", "k")
+
+    def test_additive_reduction_rejected(self):
+        with pytest.raises(EinsumError):
+            Statement(
+                lhs=Access("T", ("i",)),
+                kind="contract",
+                op="add",
+                operands=(Access("A", ("i", "k")), Access("B", ("i", "k"))),
+            )
+
+    def test_unary_index_change_rejected(self):
+        with pytest.raises(EinsumError):
+            Statement(
+                lhs=Access("T", ("i",)),
+                kind="unary",
+                op="relu",
+                operands=(Access("A", ("i", "j")),),
+            )
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(EinsumError):
+            Statement(
+                lhs=Access("T", ("i",)),
+                kind="contract",
+                op="conv",
+                operands=(Access("A", ("i",)),),
+            )
+
+    def test_rename(self):
+        stmt = Statement(
+            lhs=Access("T", ("i",)),
+            kind="unary",
+            op="relu",
+            operands=(Access("A", ("i",)),),
+        )
+        renamed = stmt.rename_indices({"i": "x"})
+        assert renamed.lhs.indices == ("x",)
+
+    def test_str(self):
+        stmt = Statement(
+            lhs=Access("T", ("i", "j")),
+            kind="contract",
+            op="mul",
+            operands=(Access("A", ("i", "k")), Access("B", ("k", "j"))),
+        )
+        assert "sum_{k}" in str(stmt)
+
+
+class TestProgram:
+    def test_index_sizes(self):
+        prog = EinsumProgram()
+        prog.declare("A", (4, 5), csr())
+        prog.declare("B", (5, 3))
+        prog.contract("T", ("i", "j"), "mul", [("A", ("i", "k")), ("B", ("k", "j"))])
+        sizes = prog.index_sizes()
+        assert sizes == {"i": 4, "k": 5, "j": 3}
+
+    def test_conflicting_extent_rejected(self):
+        prog = EinsumProgram()
+        prog.declare("A", (4, 5))
+        prog.declare("B", (6, 3))
+        prog.contract("T", ("i", "j"), "mul", [("A", ("i", "k")), ("B", ("k", "j"))])
+        with pytest.raises(EinsumError):
+            prog.index_sizes()
+
+    def test_use_before_def_rejected(self):
+        prog = EinsumProgram()
+        prog.declare("A", (4,))
+        prog.unary("Y", ("i",), "relu", ("Missing", ("i",)))
+        with pytest.raises(EinsumError):
+            prog.validate()
+
+    def test_outputs_and_intermediates(self):
+        prog = EinsumProgram()
+        prog.declare("A", (4, 4), csr())
+        prog.declare("X", (4, 4))
+        prog.contract("T0", ("i", "j"), "mul", [("A", ("i", "k")), ("X", ("k", "j"))])
+        prog.unary("Y", ("i", "j"), "relu", ("T0", ("i", "j")))
+        assert prog.outputs() == ["Y"]
+        assert prog.intermediates() == {"T0"}
+
+    def test_double_production_rejected(self):
+        prog = EinsumProgram()
+        prog.declare("A", (4,))
+        prog.unary("Y", ("i",), "relu", ("A", ("i",)))
+        prog.unary("Y", ("i",), "relu", ("A", ("i",)))
+        with pytest.raises(EinsumError):
+            prog.producers()
+
+
+class TestParser:
+    def test_declarations(self):
+        prog = parse_program("tensor A(4, 5): csr")
+        assert prog.decls["A"].shape == (4, 5)
+        assert prog.decls["A"].fmt.name() == "csr"
+
+    def test_contraction(self):
+        prog = parse_program(
+            "tensor A(4, 5): csr\ntensor X(5, 3): dense\nT(i, j) = A(i, k) * X(k, j)"
+        )
+        stmt = prog.statements[0]
+        assert stmt.op == "mul"
+        assert stmt.reduction_indices() == ("k",)
+
+    def test_nary_product(self):
+        prog = parse_program(
+            "tensor A(2, 2): dense\ntensor B(2, 2): dense\ntensor C(2, 2): dense\n"
+            "D(i, l) = A(i, k) * B(k, j) * C(j, l)"
+        )
+        assert len(prog.statements[0].operands) == 3
+
+    def test_addition(self):
+        prog = parse_program(
+            "tensor A(2, 2): dense\ntensor b(2): dense\nT(i, j) = A(i, j) + b(j)"
+        )
+        assert prog.statements[0].op == "add"
+
+    def test_unary(self):
+        prog = parse_program("tensor A(2, 2): dense\nY(i, j) = relu(A(i, j))")
+        assert prog.statements[0].kind == "unary"
+
+    def test_fiber(self):
+        prog = parse_program("tensor A(2, 2): dense\nY(i, j) = softmax[j](A(i, j))")
+        assert prog.statements[0].kind == "fiber"
+
+    def test_fiber_requires_innermost(self):
+        with pytest.raises(EinsumError):
+            parse_program("tensor A(2, 2): dense\nY(i, j) = softmax[i](A(i, j))")
+
+    def test_order_annotation(self):
+        prog = parse_program(
+            "tensor A(2, 2): dense\ntensor B(2, 2): dense\n"
+            "T(i, j) = A(i, k) * B(k, j) order(i, k, j)"
+        )
+        assert prog.statements[0].order == ("i", "k", "j")
+
+    def test_comments_ignored(self):
+        prog = parse_program("# a comment\ntensor A(2, 2): dense  # trailing")
+        assert "A" in prog.decls
+
+    def test_mixed_operators_rejected(self):
+        with pytest.raises(EinsumError):
+            parse_program(
+                "tensor A(2,2): dense\ntensor B(2,2): dense\ntensor C(2,2): dense\n"
+                "T(i,j) = A(i,j) + B(i,j) - C(i,j)"
+            )

@@ -1,0 +1,217 @@
+"""Cross-expression fusion algorithm tests (paper Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.einsum.parser import parse_program
+from repro.core.fusion.fuse import fold_masks, fuse_region, merge_contractions
+from repro.core.fusion.pog import OrderConflictError, PartialOrderGraph
+
+
+class TestPOG:
+    def test_constraints_and_order(self):
+        pog = PartialOrderGraph()
+        pog.add_constraint("i", "j", tag="t1")
+        pog.add_constraint("j", "k", tag="t2")
+        order = pog.first_order()
+        assert order.index("i") < order.index("j") < order.index("k")
+
+    def test_cycle_detection(self):
+        pog = PartialOrderGraph()
+        pog.add_constraint("i", "j", tag="a")
+        pog.add_constraint("j", "i", tag="b")
+        assert not pog.is_acyclic()
+        assert pog.find_cycle()
+        with pytest.raises(OrderConflictError):
+            pog.first_order()
+
+    def test_remove_tag_breaks_cycle(self):
+        pog = PartialOrderGraph()
+        pog.add_constraint("i", "j", tag="a")
+        pog.add_constraint("j", "i", tag="b")
+        pog.remove_tag("b")
+        assert pog.is_acyclic()
+
+    def test_count_orders_free(self):
+        pog = PartialOrderGraph()
+        for idx in "ijk":
+            pog.add_index(idx)
+        assert pog.count_orders() == 6
+
+    def test_count_orders_chain(self):
+        pog = PartialOrderGraph()
+        pog.add_constraint("i", "j", tag="t")
+        pog.add_constraint("j", "k", tag="t")
+        assert pog.count_orders() == 1
+
+    def test_count_orders_partial(self):
+        pog = PartialOrderGraph()
+        pog.add_constraint("i", "j", tag="t")
+        pog.add_index("k")
+        assert pog.count_orders() == 3
+
+    def test_count_matches_enumeration(self):
+        pog = PartialOrderGraph()
+        pog.add_constraint("a", "b", tag="t")
+        pog.add_constraint("c", "d", tag="t")
+        assert pog.count_orders() == len(list(pog.all_orders(100)))
+
+    def test_is_valid_order(self):
+        pog = PartialOrderGraph()
+        pog.add_constraint("i", "j", tag="t")
+        assert pog.is_valid_order(["i", "j"])
+        assert not pog.is_valid_order(["j", "i"])
+        assert not pog.is_valid_order(["i"])
+
+
+GCN_TEXT = """
+tensor A(8, 8): csr
+tensor X(8, 4): dense
+tensor W(4, 3): dense
+T0(i, f) = A(i, k) * X(k, f)
+T1(i, h) = T0(i, f2) * W(f2, h)
+"""
+
+
+class TestFuseRegion:
+    def test_unifies_producer_consumer(self):
+        prog = parse_program(GCN_TEXT)
+        fused = fuse_region(prog, [0, 1])
+        # T0's access in statement 1 must use the same names as its lhs.
+        t0_producer = fused.statements[0]
+        consumer = fused.statements[1]
+        t0_access = next(a for a in consumer.operands if a.tensor == "T0")
+        assert t0_access.indices == t0_producer.lhs.indices
+
+    def test_reduction_renamed_to_u(self):
+        prog = parse_program(GCN_TEXT)
+        fused = fuse_region(prog, [0, 1])
+        reds = fused.statements[0].reduction_indices()
+        assert all(r.startswith("u") for r in reds)
+
+    def test_mode_order_constraints(self):
+        prog = parse_program(GCN_TEXT)
+        fused = fuse_region(prog, [0])
+        order = fused.first_order()
+        # CSR A: row index before column (reduction) index.
+        stmt = fused.statements[0]
+        i, f = stmt.lhs.indices
+        (u,) = stmt.reduction_indices()
+        assert order.index(i) < order.index(u)
+
+    def test_region_outputs(self):
+        prog = parse_program(GCN_TEXT)
+        fused = fuse_region(prog, [0, 1])
+        assert fused.outputs == ["T1"]
+        fused0 = fuse_region(prog, [0])
+        assert fused0.outputs == ["T0"]
+
+    def test_index_sizes(self):
+        prog = parse_program(GCN_TEXT)
+        fused = fuse_region(prog, [0, 1])
+        sizes = set(fused.index_sizes.values())
+        assert {8, 4, 3} <= sizes
+
+    def test_user_order_constrains(self):
+        prog = parse_program(GCN_TEXT)
+        stmt = prog.statements[0]
+        fused = fuse_region(prog, [0], extra_orders={0: ("i", "k", "f")})
+        order = fused.first_order()
+        names = fused.statements[0].all_indices()
+        assert order == [names[0], names[2], names[1]]  # i, u(k), f
+
+    def test_fused_einsum_string(self):
+        prog = parse_program(GCN_TEXT)
+        fused = fuse_region(prog, [0, 1])
+        text = fused.fused_einsum_string()
+        assert text.startswith("forall ")
+        assert "T0" in text and "T1" in text
+
+
+class TestViewConflictCloning:
+    def test_dual_use_clones_chain(self):
+        """A tensor consumed through two incompatible paths gets cloned."""
+        prog = parse_program(
+            """
+tensor A(6, 6): csr
+tensor X(6, 4): dense
+tensor W(4, 4): dense
+H(i, h) = X(i, f) * W(f, h)
+AG(i2, h2) = A(i2, k) * H(k, h2)
+Y(i3, h3) = AG(i3, h3) + H(i3, h3)
+"""
+        )
+        fused = fuse_region(prog, [0, 1, 2])
+        producers = [s.lhs.tensor for s in fused.statements]
+        # H must appear twice: original + clone for the conflicting use.
+        assert sum(1 for t in producers if t.startswith("H")) == 2
+        # No statement may access a tensor diagonally.
+        for stmt in fused.statements:
+            for acc in [stmt.lhs, *stmt.operands]:
+                assert len(set(acc.indices)) == len(acc.indices)
+
+    def test_cycle_resolved_by_transpose(self):
+        """Conflicting mode orders of two views force a permuted copy."""
+        prog = parse_program(
+            """
+tensor B(4, 4): csr
+tensor C(4, 4): csr
+E(i, j) = B(i, k) * C(k, j)
+F(i, j2) = E(i, k2) * B(j2, k2)
+"""
+        )
+        # B viewed as (i,k) row-major and as (j2,k2) with k2 innermost; the
+        # second view's traversal is discordant with the first fused order.
+        fused = fuse_region(prog, [0, 1])
+        assert fused.pog.is_acyclic()
+
+
+class TestFoldMasks:
+    def test_sddmm_fold(self):
+        prog = parse_program(
+            """
+tensor Q(4, 3): dense
+tensor Kt(5, 3): dense
+tensor M(4, 5): csr
+P(i, j) = Q(i, k) * Kt(j, k)
+S(i, j) = P(i, j) * M(i, j)
+"""
+        )
+        fused = fold_masks(fuse_region(prog, [0, 1]))
+        assert len(fused.statements) == 1
+        stmt = fused.statements[0]
+        assert stmt.lhs.tensor == "S"
+        assert len(stmt.operands) == 3
+        assert {a.tensor for a in stmt.operands} == {"Q", "Kt", "M"}
+
+    def test_no_fold_when_output(self):
+        prog = parse_program(
+            """
+tensor Q(4, 3): dense
+tensor Kt(5, 3): dense
+tensor M(4, 5): csr
+P(i, j) = Q(i, k) * Kt(j, k)
+S(i, j) = P(i, j) * M(i, j)
+Z(i, j) = relu(P(i, j))
+"""
+        )
+        fused = fold_masks(fuse_region(prog, [0, 1, 2]))
+        # P has two consumers, so it cannot be folded away.
+        assert any(s.lhs.tensor == "P" for s in fused.statements)
+
+
+class TestMergeContractions:
+    def test_chain_merges_to_nary(self):
+        prog = parse_program(
+            """
+tensor A(3, 4): csr
+tensor B(4, 5): dense
+tensor C(5, 2): dense
+E(i, j) = A(i, k) * B(k, j)
+D(i, l) = E(i, j2) * C(j2, l)
+"""
+        )
+        fused = merge_contractions(fuse_region(prog, [0, 1]))
+        assert len(fused.statements) == 1
+        assert len(fused.statements[0].operands) == 3
+        assert len(fused.statements[0].reduction_indices()) == 2

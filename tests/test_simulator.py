@@ -1,0 +1,157 @@
+"""Simulator tests: timing model, memory model, machines, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.comal import (
+    FPGA_MACHINE,
+    GPU_MACHINE,
+    MACHINES,
+    RDA_MACHINE,
+    MemoryModel,
+    ProgramMetrics,
+    format_table,
+    run_functional,
+    run_timed,
+    speedup_table,
+)
+from repro.core.einsum.parser import parse_program
+from repro.core.fusion.fuse import fuse_region
+from repro.core.tables.lower import RegionLowerer
+from repro.ftree import SparseTensor, csr, dense
+
+
+@pytest.fixture
+def spmm_graph():
+    prog = parse_program(
+        "tensor A(6, 6): csr\ntensor X(6, 4): dense\nT(i, j) = A(i, k) * X(k, j)"
+    )
+    lowerer = RegionLowerer(fuse_region(prog, [0]), prog.decls)
+    graph = lowerer.lower()
+    rng = np.random.default_rng(0)
+    a = (rng.random((6, 6)) < 0.4) * rng.random((6, 6))
+    x = rng.random((6, 4))
+    binding = {
+        "A": SparseTensor.from_dense(a, csr(), "A"),
+        "X": SparseTensor.from_dense(x, dense(2), "X"),
+    }
+    return graph, binding, a, x
+
+
+class TestMemoryModel:
+    def test_latency_floor(self):
+        mem = MemoryModel(bandwidth=64.0, latency=100.0)
+        assert mem.access(0.0, 64) >= 100.0
+
+    def test_bandwidth_serializes(self):
+        mem = MemoryModel(bandwidth=1.0, latency=0.0, burst_bytes=1)
+        t1 = mem.access(0.0, 10)
+        t2 = mem.access(0.0, 10)
+        assert t2 >= t1 + 10
+
+    def test_burst_rounds_up(self):
+        mem = MemoryModel(bandwidth=1.0, latency=0.0, burst_bytes=32)
+        mem.access(0.0, 1)
+        assert mem.next_free == 32.0
+
+    def test_zero_bytes_free(self):
+        mem = MemoryModel()
+        assert mem.access(5.0, 0) == 5.0
+
+    def test_reset(self):
+        mem = MemoryModel()
+        mem.access(0.0, 128)
+        mem.reset()
+        assert mem.total_bytes == 0 and mem.next_free == 0.0
+
+
+class TestMachines:
+    def test_registry(self):
+        assert set(MACHINES) == {"rda", "fpga", "gpu"}
+
+    def test_ii_lookup_defaults(self):
+        assert RDA_MACHINE.ii_of("scan") == 1.0
+        assert RDA_MACHINE.ii_of("unknown-class") == RDA_MACHINE.default_ii
+
+    def test_scaled_copy(self):
+        m = RDA_MACHINE.scaled(dram_bandwidth=8.0)
+        assert m.dram_bandwidth == 8.0
+        assert RDA_MACHINE.dram_bandwidth == 64.0
+
+
+class TestTimedRun:
+    def test_cycles_positive_and_flops_counted(self, spmm_graph):
+        graph, binding, a, x = spmm_graph
+        result = run_timed(graph, binding)
+        assert result.cycles > 0
+        # Gustavson SpMM: one fma per (nnz, column) pair.
+        assert result.flops == pytest.approx(2 * np.count_nonzero(a) * x.shape[1], rel=0.5)
+
+    def test_functional_reuse(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        func = run_functional(graph, binding)
+        result = run_timed(graph, binding, functional=func)
+        assert result.functional is func
+
+    def test_bandwidth_roofline(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        starved = RDA_MACHINE.scaled(dram_bandwidth=0.25)
+        fast = run_timed(graph, binding)
+        slow = run_timed(graph, binding, machine=starved)
+        assert slow.cycles >= slow.dram_bytes / 0.25
+        assert slow.cycles > fast.cycles
+
+    def test_fpga_machine_slower_scanners(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        rda = run_timed(graph, binding, machine=RDA_MACHINE)
+        fpga = run_timed(graph, binding, machine=FPGA_MACHINE)
+        assert fpga.cycles != rda.cycles
+
+    def test_utilization_bounds(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        result = run_timed(graph, binding, machine=GPU_MACHINE)
+        assert 0.0 <= result.compute_utilization(GPU_MACHINE) <= 1.0
+        assert 0.0 <= result.memory_utilization(GPU_MACHINE) <= 1.0
+
+    def test_operational_intensity(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        result = run_timed(graph, binding)
+        assert result.operational_intensity() > 0
+
+
+class TestProgramMetrics:
+    def test_accumulation(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        r = run_timed(graph, binding)
+        metrics = ProgramMetrics("test")
+        metrics.add(r, "k1")
+        metrics.add(r, "k2")
+        assert metrics.num_kernels == 2
+        assert metrics.cycles == pytest.approx(2 * r.cycles)
+        assert metrics.flops == 2 * r.flops
+
+    def test_speedup_table(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        r = run_timed(graph, binding)
+        slow = ProgramMetrics("slow")
+        slow.add(r)
+        slow.add(r)
+        fast = ProgramMetrics("fast")
+        fast.add(r)
+        table = speedup_table({"slow": slow, "fast": fast}, baseline="slow")
+        assert table["slow"] == 1.0
+        assert table["fast"] == pytest.approx(2.0)
+
+    def test_format_table(self):
+        text = format_table([["a", "1"], ["bb", "22"]], ["name", "val"])
+        assert "name" in text and "bb" in text
+
+
+class TestScratchpad:
+    def test_small_tensor_cached(self, spmm_graph):
+        graph, binding, _, _ = spmm_graph
+        cached = run_timed(graph, binding, machine=RDA_MACHINE)
+        uncached = run_timed(
+            graph, binding, machine=RDA_MACHINE.scaled(scratchpad_bytes=0)
+        )
+        assert uncached.dram_bytes >= cached.dram_bytes
