@@ -8,6 +8,7 @@ import pytest
 
 from bench_common import print_figure
 from repro.data.registry import graph_dataset, sae_dataset
+from repro.driver import Session
 from repro.models.gcn import build_gcn
 from repro.models.gpt3 import build_gpt3
 from repro.models.graphsage import build_graphsage
@@ -42,4 +43,6 @@ def test_compile_time_under_750ms(benchmark):
     )
 
     gcn = bundles["GCN"]
-    benchmark(lambda: compile_program(gcn.program, gcn.schedule("partial")))
+    # A fresh Session per iteration keeps this a cold-compile measurement;
+    # the default session behind compile_program would serve cache hits.
+    benchmark(lambda: Session().compile(gcn.program, gcn.schedule("partial")))

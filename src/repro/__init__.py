@@ -10,10 +10,14 @@ Public API surface:
 * :mod:`repro.comal` — the dataflow simulator.
 * :mod:`repro.models` / :mod:`repro.data` — the evaluation's model zoo and
   dataset generators.
-* :mod:`repro.pipeline` — compile/execute entry points.
+* :mod:`repro.driver` — the compile driver: :class:`Session` (cached
+  compiles), :class:`PassPipeline` (named, pluggable passes), and
+  :class:`Executable` (callable compiled programs with diagnostics).
+* :mod:`repro.pipeline` — legacy compile/execute free functions (shims
+  over the driver's default session).
 """
 
-from . import comal, core, data, ftree, models, sam
+from . import comal, core, data, driver, ftree, models, sam
 from .core.einsum.ast import EinsumProgram
 from .core.einsum.parser import parse_program
 from .core.schedule.schedule import (
@@ -22,6 +26,13 @@ from .core.schedule.schedule import (
     fully_fused,
     fused_groups,
     unfused,
+)
+from .driver import (
+    CompileDiagnostics,
+    Executable,
+    PassPipeline,
+    Session,
+    default_session,
 )
 from .frontend.api import Linear, ModelBuilder
 from .ftree import Format, SparseTensor, csr, dcsr, dense, sparse_vector
@@ -58,4 +69,9 @@ __all__ = [
     "compare_schedules",
     "CompiledProgram",
     "ProgramResult",
+    "Session",
+    "default_session",
+    "Executable",
+    "PassPipeline",
+    "CompileDiagnostics",
 ]

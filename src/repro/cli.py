@@ -3,7 +3,10 @@
 FuseFlow exposes its optimization knobs through a CLI: users pick a model,
 fusion granularity, dataflow ordering, parallelization, and block size, and
 the tool compiles, simulates, and reports cycles/FLOPs/bytes — or ranks
-schedules with the analytical heuristic.
+schedules with the analytical heuristic, or autotunes the fusion
+granularity outright.  All compilation goes through one driver
+:class:`~repro.driver.Session` per invocation, so sweeps and autotuning
+reuse compiled executables instead of re-lowering.
 
 Examples::
 
@@ -11,7 +14,8 @@ Examples::
     fuseflow run --model gpt3 --fusion full --block 8 --par x1=4
     fuseflow sweep --model graphsage
     fuseflow estimate --model gcn
-    fuseflow compile --model sae --fusion full --show-graph
+    fuseflow autotune --model sae --nodes 16
+    fuseflow compile --model sae --fusion full --show-graph --diagnostics
 """
 
 from __future__ import annotations
@@ -22,17 +26,19 @@ from typing import Dict, List
 
 import numpy as np
 
-from .comal.machines import MACHINES, RDA_MACHINE
-from .core.heuristic.model import FusionHeuristic, stats_from_binding
+from .comal.machines import MACHINES
+from .core.heuristic.model import stats_from_binding
 from .core.heuristic.prune import rank_schedules
+from .core.schedule.autotune import autotune
+from .driver import Session
+from .models.common import ModelBundle
 from .models.gcn import gcn_on_synthetic
 from .models.gpt3 import build_gpt3
 from .models.graphsage import graphsage_on_synthetic
 from .models.sae import build_sae
-from .pipeline import compile_program, execute, run
 
 
-def _build_model(args) -> "ModelBundle":
+def _build_model(args) -> ModelBundle:
     if args.model == "gcn":
         return gcn_on_synthetic(nodes=args.nodes, density=args.density)
     if args.model == "graphsage":
@@ -45,6 +51,10 @@ def _build_model(args) -> "ModelBundle":
             seq_len=args.seq_len, d_model=args.d_model, block=args.block
         )
     raise SystemExit(f"unknown model {args.model!r}")
+
+
+def _session(args) -> Session:
+    return Session(machine=MACHINES[args.machine])
 
 
 def _parse_par(specs: List[str]) -> Dict[str, int]:
@@ -75,8 +85,9 @@ def cmd_run(args) -> int:
     bundle = _build_model(args)
     schedule = bundle.schedule(args.fusion)
     schedule.par = _parse_par(args.par)
-    machine = MACHINES[args.machine]
-    result = run(bundle.program, bundle.binding, schedule, machine)
+    session = _session(args)
+    exe = session.compile(bundle.program, schedule)
+    result = exe(bundle.binding)
     out = result.tensors[bundle.output].to_dense()
     err = float(np.abs(out - bundle.reference).max())
     m = result.metrics
@@ -92,11 +103,11 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     bundle = _build_model(args)
-    machine = MACHINES[args.machine]
+    session = _session(args)
     baseline = None
     print(f"{'granularity':12s} {'cycles':>12s} {'speedup':>8s} {'flops':>12s} {'bytes':>12s}")
     for gran in ("unfused", "partial", "full"):
-        result = run(bundle.program, bundle.binding, bundle.schedule(gran), machine)
+        result = session.run(bundle.program, bundle.binding, bundle.schedule(gran))
         m = result.metrics
         if baseline is None:
             baseline = m.cycles
@@ -121,16 +132,58 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def cmd_autotune(args) -> int:
+    bundle = _build_model(args)
+    session = _session(args)
+    stats = stats_from_binding(bundle.binding)
+    try:
+        tuned = autotune(
+            bundle.program,
+            bundle.binding,
+            stats,
+            session=session,
+            simulate_top=args.simulate_top,
+            max_candidates=args.max_candidates,
+        )
+    except RuntimeError as exc:
+        print(f"autotune failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"model      : {bundle.name}")
+    print(f"considered : {tuned.candidates_considered} candidate(s), "
+          f"simulated {tuned.candidates_simulated}")
+    for name, cycles in tuned.ranking:
+        marker = " <- best" if name == tuned.best.name else ""
+        print(f"  {name:20s} {cycles:12.0f} cycles{marker}")
+    print(f"winner     : {tuned.best.name} at {tuned.measured_cycles:.0f} cycles")
+    before = session.cache_info()
+    exe = session.compile(bundle.program, tuned.best)
+    after = session.cache_info()
+    served = "cache hit" if after.hits > before.hits else "cache miss"
+    print(f"cache      : {after} (winner recompile: {served})")
+    if args.verify:
+        result = exe(bundle.binding)
+        err = float(np.abs(
+            result.tensors[bundle.output].to_dense() - bundle.reference
+        ).max())
+        print(f"max |err|  : {err:.3e} (vs dense reference)")
+        return 0 if err < 1e-6 else 1
+    return 0
+
+
 def cmd_compile(args) -> int:
     bundle = _build_model(args)
-    compiled = compile_program(bundle.program, bundle.schedule(args.fusion))
-    print(compiled.describe())
+    session = _session(args)
+    exe = session.compile(bundle.program, bundle.schedule(args.fusion))
+    print(exe.compiled.describe())
+    if args.diagnostics:
+        print()
+        print(exe.diagnostics.describe())
     if args.show_graph:
-        for region in compiled.regions:
+        for region in exe.regions:
             print()
             print(region.graph.describe())
     if args.show_table:
-        for region in compiled.regions:
+        for region in exe.regions:
             print()
             print(region.table_text)
     return 0
@@ -157,11 +210,25 @@ def main(argv: List[str] | None = None) -> int:
     _add_model_args(p_est)
     p_est.set_defaults(fn=cmd_estimate)
 
+    p_tune = sub.add_parser(
+        "autotune", help="search fusion schedules (heuristic prune + simulate)"
+    )
+    _add_model_args(p_tune)
+    p_tune.add_argument("--simulate-top", type=int, default=3,
+                        help="simulate the k best-estimated candidates")
+    p_tune.add_argument("--max-candidates", type=int, default=64,
+                        help="cap on enumerated fusion partitions")
+    p_tune.add_argument("--verify", action="store_true",
+                        help="run the winner and check against the dense reference")
+    p_tune.set_defaults(fn=cmd_autotune)
+
     p_compile = sub.add_parser("compile", help="compile and show graphs/tables")
     _add_model_args(p_compile)
     p_compile.add_argument("--fusion", default="partial", choices=["unfused", "partial", "full", "cs"])
     p_compile.add_argument("--show-graph", action="store_true")
     p_compile.add_argument("--show-table", action="store_true")
+    p_compile.add_argument("--diagnostics", action="store_true",
+                           help="print per-pass timings and region stats")
     p_compile.set_defaults(fn=cmd_compile)
 
     args = parser.parse_args(argv)

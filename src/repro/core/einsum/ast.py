@@ -23,6 +23,7 @@ storage formats; statement validation checks index/extent consistency.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -317,6 +318,30 @@ class EinsumProgram:
                                 f"{sizes[idx]} vs {extent} (at {acc})"
                             )
         return sizes
+
+    def fingerprint(self) -> str:
+        """Stable content hash over declarations and statements.
+
+        Two programs fingerprint equally iff they declare the same tensors
+        (name, shape, storage format) and contain the same statement list
+        (kind, op, accesses, scheduled order, unary parameters) — regardless
+        of object identity.  The driver's compile cache keys on this, so the
+        hash must cover every input the compiler reads.
+        """
+        parts = [f"program {self.name}"]
+        for name in sorted(self.decls):
+            decl = self.decls[name]
+            parts.append(
+                f"decl {name} shape={decl.shape} levels={decl.fmt.levels} "
+                f"mode_order={decl.fmt.mode_order} "
+                f"block={decl.fmt.block_shape} input={decl.is_input}"
+            )
+        for stmt in self.statements:
+            parts.append(
+                f"stmt {stmt.sid} {stmt.kind} {stmt.op} {stmt} "
+                f"order={stmt.order} scale={stmt.scale} offset={stmt.offset}"
+            )
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     def validate(self) -> None:
         """Check DAG-ness, declarations, and index consistency."""

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...comal.machines import Machine, RDA_MACHINE
+from ...driver.executable import Executable
+from ...driver.session import Session
 from ..einsum.ast import EinsumProgram
 from ..heuristic.model import FusionHeuristic, TensorStats
 from ..heuristic.prune import roofline_score
@@ -37,6 +39,9 @@ class TunedSchedule:
     candidates_considered: int
     candidates_simulated: int
     ranking: List[Tuple[str, float]] = field(default_factory=list)
+    # The winner's compiled form, served from the session cache (no extra
+    # lowering beyond the simulation that measured it).
+    executable: Optional[Executable] = None
 
 
 def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[int]]]:
@@ -80,17 +85,24 @@ def autotune(
     binding: Dict[str, object],
     stats: Dict[str, TensorStats],
     candidates: Sequence[Schedule] | None = None,
-    machine: Machine = RDA_MACHINE,
+    machine: Machine | None = None,
     simulate_top: int = 3,
     max_candidates: int = 64,
+    session: Session | None = None,
 ) -> TunedSchedule:
     """Pick the best fusion schedule via heuristic pruning + simulation.
 
     Candidate schedules that fail to compile (infeasible streaming under the
     POG) are skipped — an unfused boundary always exists as a fallback.
-    """
-    from ...pipeline import run  # local import: pipeline imports schedules
 
+    Compilation goes through ``session`` (a fresh one per call by default):
+    every simulated candidate lands in the session's compile cache, so the
+    returned winner's :attr:`TunedSchedule.executable` — and any later
+    ``session.compile`` of the tuned schedule — costs no further lowering.
+    """
+    if session is None:
+        session = Session(machine=machine or RDA_MACHINE)
+    machine = machine or session.machine
     candidates = list(candidates) if candidates else enumerate_schedules(
         program, max_candidates
     )
@@ -112,7 +124,7 @@ def autotune(
         if simulated >= simulate_top:
             break
         try:
-            result = run(program, binding, schedule, machine)
+            result = session.run(program, binding, schedule, machine)
         except Exception:
             continue  # infeasible under this granularity; next candidate
         simulated += 1
@@ -123,10 +135,19 @@ def autotune(
             best_schedule = schedule
     if best_schedule is None:
         raise RuntimeError("no candidate schedule could be compiled and run")
+    winner = session.compile(program, best_schedule)  # cache hit
+    if winner.machine is not machine:
+        # Bind the returned handle to the machine the tuning measured on
+        # (the caller may have paired an explicit machine with a session
+        # built for a different one); shares the cached compile artifacts.
+        winner = Executable(
+            winner.compiled, machine, winner.diagnostics, winner.fingerprint
+        )
     return TunedSchedule(
         best=best_schedule,
         measured_cycles=best_cycles,
         candidates_considered=len(scored),
         candidates_simulated=simulated,
         ranking=ranking,
+        executable=winner,
     )

@@ -19,6 +19,7 @@ partially fused (caller-specified groups), and fully fused.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,6 +62,24 @@ class Schedule:
                 raise ScheduleError(
                     f"region {region} must list statements in program order"
                 )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every knob the compiler reads.
+
+        Recomputed at each compile, so mutating a schedule in place (e.g.
+        assigning ``par``) changes the fingerprint and misses the driver's
+        compile cache instead of serving a stale executable.
+        """
+        parts = [
+            f"schedule {self.name}",
+            f"regions {self.regions}",
+            f"orders {sorted(self.orders.items())}",
+            f"stmt_orders {sorted(self.stmt_orders.items())}",
+            f"par {sorted(self.par.items())}",
+            f"fold_masks {self.fold_masks}",
+            f"global_rewrite {self.global_rewrite}",
+        ]
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     def describe(self) -> str:
         parts = [f"schedule {self.name}: {len(self.regions)} region(s)"]

@@ -1,0 +1,113 @@
+"""Compiled artifacts and the region-chaining executor.
+
+These dataclasses are the driver's output format (and the legacy
+:mod:`repro.pipeline` API surface, which re-exports them unchanged): a
+:class:`CompiledProgram` is a list of per-region SAMML graphs plus the
+declaration registry grown during lowering, and :func:`execute_compiled`
+runs the region graphs in order on a machine, materializing region outputs
+and binding them as inputs of later regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..comal.engine import SimResult, run_timed
+from ..comal.machines import Machine, RDA_MACHINE
+from ..comal.metrics import ProgramMetrics
+from ..core.einsum.ast import EinsumProgram, TensorDecl
+from ..core.fusion.fuse import FusedEinsum
+from ..core.schedule.schedule import Schedule
+from ..core.tables.lower import OutputSpec
+from ..ftree.tensor import SparseTensor
+from ..sam.graph import SAMGraph
+
+
+@dataclass
+class CompiledRegion:
+    """One fused region's compiled form."""
+
+    graph: Optional[SAMGraph]
+    fused: FusedEinsum
+    order: List[str]
+    output_specs: List[OutputSpec]
+    table_text: str
+    # Permuted copies to materialize: (original tensor, new name, mode order).
+    transposes: List[Tuple[str, str, Tuple[int, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled model: region graphs plus declaration registry."""
+
+    program: EinsumProgram
+    schedule: Schedule
+    regions: List[CompiledRegion]
+    decls: Dict[str, TensorDecl]
+    compile_seconds: float = 0.0
+
+    def total_nodes(self) -> int:
+        return sum(r.graph.node_count() for r in self.regions if r.graph)
+
+    def describe(self) -> str:
+        lines = [
+            f"compiled {self.program.name} under {self.schedule.name}: "
+            f"{len(self.regions)} region(s), {self.total_nodes()} nodes, "
+            f"{self.compile_seconds * 1e3:.1f} ms"
+        ]
+        for region in self.regions:
+            if region.graph is None:
+                lines.append(f"  <unlowered region over {region.order}>")
+                continue
+            lines.append(
+                f"  {region.graph.name}: order {region.order}, "
+                f"{region.graph.node_count()} nodes, outputs "
+                f"{[s.name for s in region.output_specs]}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of executing a compiled program."""
+
+    metrics: ProgramMetrics
+    tensors: Dict[str, SparseTensor]
+    region_results: List[SimResult] = field(default_factory=list)
+
+    def output(self, name: str) -> SparseTensor:
+        return self.tensors[name]
+
+
+def execute_compiled(
+    compiled: CompiledProgram,
+    binding: Dict[str, SparseTensor],
+    machine: Machine = RDA_MACHINE,
+) -> ProgramResult:
+    """Run all region graphs in order, chaining materialized outputs."""
+    bind: Dict[str, Any] = dict(binding)
+    metrics = ProgramMetrics(label=compiled.schedule.name)
+    produced: Dict[str, SparseTensor] = {}
+    region_results: List[SimResult] = []
+    for region in compiled.regions:
+        if region.graph is None:
+            raise RuntimeError(
+                f"region {region.order} was never lowered to a graph; "
+                "the compiling pipeline is missing its 'lower-region' pass"
+            )
+        for orig, new_name, mode_order in region.transposes:
+            if new_name not in bind:
+                source = bind[orig]
+                bind[new_name] = source.permuted_copy(mode_order, name=new_name)
+                # A permuted copy is a DRAM round trip of the whole tensor.
+                extra = 2 * source.bytes_total()
+                metrics.dram_bytes += extra
+                metrics.cycles += extra / machine.dram_bandwidth
+        result = run_timed(region.graph, bind, machine)
+        metrics.add(result, region.graph.name)
+        for name, tensor in result.results.items():
+            bind[name] = tensor
+            produced[name] = tensor
+        region_results.append(result)
+    return ProgramResult(metrics=metrics, tensors=produced, region_results=region_results)

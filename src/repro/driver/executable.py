@@ -1,0 +1,99 @@
+"""The executable handle returned by :meth:`Session.compile`.
+
+An :class:`Executable` is a compiled program bound to a machine: call it
+on a binding (``exe(binding)`` or ``exe.run(A=..., X=...)``) to simulate,
+introspect it with :meth:`describe`, and read the structured
+:attr:`diagnostics` the pipeline collected while compiling it.  Executables
+are immutable and safe to share — the Session cache hands the same object
+back for every fingerprint-identical compile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..comal.machines import Machine
+from ..core.einsum.ast import EinsumProgram, TensorDecl
+from ..core.schedule.schedule import Schedule
+from ..ftree.tensor import SparseTensor
+from .compiled import (
+    CompiledProgram,
+    CompiledRegion,
+    ProgramResult,
+    execute_compiled,
+)
+from .diagnostics import CompileDiagnostics
+
+
+class Executable:
+    """A compiled program plus the machine it will simulate on."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        machine: Machine,
+        diagnostics: CompileDiagnostics,
+        fingerprint: Tuple[str, ...] = (),
+    ) -> None:
+        self.compiled = compiled
+        self.machine = machine
+        self.diagnostics = diagnostics
+        #: The Session cache key this executable was stored under.
+        self.fingerprint = fingerprint
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> EinsumProgram:
+        return self.compiled.program
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.compiled.schedule
+
+    @property
+    def regions(self) -> List[CompiledRegion]:
+        return self.compiled.regions
+
+    @property
+    def decls(self) -> Dict[str, TensorDecl]:
+        return self.compiled.decls
+
+    def describe(self) -> str:
+        """Region/graph summary plus the compile diagnostics."""
+        return "\n".join(
+            [
+                self.compiled.describe(),
+                self.diagnostics.describe(),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        binding: Optional[Dict[str, SparseTensor]] = None,
+        machine: Optional[Machine] = None,
+        **tensors: SparseTensor,
+    ) -> ProgramResult:
+        """Simulate on ``binding`` (and/or tensors by keyword)."""
+        bind: Dict[str, SparseTensor] = dict(binding or {})
+        bind.update(tensors)
+        return execute_compiled(self.compiled, bind, machine or self.machine)
+
+    def run(
+        self,
+        binding: Optional[Dict[str, SparseTensor]] = None,
+        machine: Optional[Machine] = None,
+        **tensors: SparseTensor,
+    ) -> ProgramResult:
+        """Alias for calling the executable directly."""
+        return self(binding, machine=machine, **tensors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Executable {self.program.name}/{self.schedule.name} "
+            f"({len(self.regions)} region(s), {self.compiled.total_nodes()} nodes)>"
+        )

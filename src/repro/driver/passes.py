@@ -1,0 +1,255 @@
+"""Named compilation passes over fusion regions.
+
+The seed's ``compile_program`` inlined the whole Figure 6 flow in one loop;
+here each step is a :class:`Pass` with a stable name, registered in
+:data:`PASS_REGISTRY` so pipelines can be built, reordered, trimmed, and
+extended by name (the transformation-registry pattern of pass-driven
+compiler frameworks).
+
+Passes are *region-scoped*: the pipeline feeds every region through the
+pass list in schedule order, because lowering region *i* registers the
+declarations (materialized outputs) that constrain the fusion of region
+*i + 1* — the stages cannot be globally barriered without losing that
+dataflow.  A pass mutates the :class:`RegionState` it is given and records
+what it did in the region's diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from ..core.einsum.ast import EinsumProgram, TensorDecl
+from ..core.fusion.fuse import (
+    FusedEinsum,
+    fold_masks,
+    fuse_region,
+    merge_contractions,
+)
+from ..core.schedule.par import apply_parallelization
+from ..core.schedule.schedule import Schedule
+from ..core.tables.lower import LoweringError, OutputSpec, RegionLowerer
+from ..sam.graph import SAMGraph
+from .diagnostics import RegionDiagnostics
+
+
+@dataclass
+class RegionState:
+    """Mutable per-region state threaded through the pass list."""
+
+    position: int
+    sids: List[int]
+    name: str
+    diag: RegionDiagnostics
+    fused: Optional[FusedEinsum] = None
+    graph: Optional[SAMGraph] = None
+    order: Optional[List[str]] = None
+    output_specs: List[OutputSpec] = field(default_factory=list)
+    table_text: str = ""
+    transposes: List[Tuple[str, str, Tuple[int, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class PassContext:
+    """Shared state: the program, schedule, and growing declaration set."""
+
+    program: EinsumProgram
+    schedule: Schedule
+    # Starts as the program's declarations; lowering appends materialized
+    # region outputs so later regions see their shapes and formats.
+    decls: Dict[str, TensorDecl] = field(default_factory=dict)
+
+
+class Pass:
+    """One named compilation step applied to each region in order."""
+
+    #: Stable registry name (also the handle for reorder/disable).
+    name: str = "pass"
+    #: RegionState attributes that must be populated before this pass runs.
+    requires: Tuple[str, ...] = ()
+
+    def config(self) -> Tuple:
+        """Hashable parameterization, folded into pipeline fingerprints."""
+        return ()
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Name -> pass class, for building pipelines from configuration.
+PASS_REGISTRY: Dict[str, Type[Pass]] = {}
+
+
+def register_pass(cls: Type[Pass]) -> Type[Pass]:
+    """Class decorator adding a pass to :data:`PASS_REGISTRY`."""
+    if cls.name in PASS_REGISTRY:
+        raise ValueError(f"pass {cls.name!r} registered twice")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+@register_pass
+class FuseRegions(Pass):
+    """Cross-expression fusion (paper Section 5, Algorithm 1)."""
+
+    name = "fuse-regions"
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        region.fused = fuse_region(
+            ctx.program,
+            region.sids,
+            name=region.name,
+            extra_orders={
+                sid: order
+                for sid, order in ctx.schedule.stmt_orders.items()
+                if sid in region.sids
+            },
+            decls=ctx.decls,
+        )
+        region.diag.statements = len(region.fused.statements)
+
+
+@register_pass
+class FoldMasks(Pass):
+    """Fold elementwise masks into producing contractions (SDDMM-style)."""
+
+    name = "fold-masks"
+    requires = ("fused",)
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        if not ctx.schedule.fold_masks:
+            region.diag.skipped_passes[self.name] = "disabled by schedule"
+        elif len(region.sids) < 2:
+            region.diag.skipped_passes[self.name] = "singleton region"
+        else:
+            region.fused = fold_masks(region.fused)
+            region.diag.statements = len(region.fused.statements)
+
+
+@register_pass
+class MergeContractions(Pass):
+    """Custard/Stardust-style global-iteration rewrite (Section 8.4)."""
+
+    name = "merge-contractions"
+    requires = ("fused",)
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        if not ctx.schedule.global_rewrite:
+            region.diag.skipped_passes[self.name] = "schedule has no global rewrite"
+        elif len(region.sids) < 2:
+            region.diag.skipped_passes[self.name] = "singleton region"
+        else:
+            region.fused = merge_contractions(region.fused)
+            region.diag.statements = len(region.fused.statements)
+
+
+@register_pass
+class LowerRegion(Pass):
+    """Lower through fusion tables, walking valid dataflow orders.
+
+    The first topological sort is usually lowerable, but transposed views or
+    unusual POGs can leave it stream-incompatible; FuseFlow then walks other
+    valid orders (it "enumerates valid dataflow orders that do not break
+    fusion", Section 7) until one lowers.  A pinned order from the schedule
+    is never overridden — its failure is the user's to resolve.  Every
+    attempt lands in the region diagnostics.
+    """
+
+    name = "lower-region"
+    requires = ("fused",)
+
+    def __init__(self, max_attempts: int = 200) -> None:
+        self.max_attempts = max_attempts
+
+    def config(self) -> Tuple:
+        return (self.max_attempts,)
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        pinned = ctx.schedule.orders.get(region.position)
+        lowerer, graph, order = self._lower_with_fallback(region, ctx.decls, pinned)
+        region.graph = graph
+        region.order = list(order)
+        region.output_specs = list(lowerer.output_specs)
+        region.table_text = lowerer.table.render()
+        region.transposes = [
+            (self._original_tensor(region.fused, key), name, mode_order)
+            for key, (name, mode_order) in lowerer.transpose_requests.items()
+        ]
+        for spec in lowerer.output_specs:
+            ctx.decls[spec.name] = TensorDecl(
+                spec.name, spec.shape, spec.fmt, is_input=False
+            )
+        region.diag.node_count = graph.node_count()
+        region.diag.transposed_views = len(region.fused.transposed_views)
+
+    def _candidate_orders(self, fused: FusedEinsum):
+        first = fused.first_order()
+        yield first
+        seen = {tuple(first)}
+        for order in fused.pog.all_orders(limit=self.max_attempts):
+            if tuple(order) not in seen:
+                seen.add(tuple(order))
+                yield order
+
+    def _lower_with_fallback(
+        self,
+        region: RegionState,
+        decls: Dict[str, TensorDecl],
+        pinned: Optional[List[str]],
+    ):
+        fused = region.fused
+        diag = region.diag
+        if pinned is not None:
+            diag.pinned_order = True
+            diag.order_attempts = 1
+            diag.orders_tried.append(tuple(pinned))
+            lowerer = RegionLowerer(fused, decls, order=pinned)
+            return lowerer, lowerer.lower(), list(pinned)
+        errors: List[str] = []
+        for attempt, order in enumerate(self._candidate_orders(fused), start=1):
+            if attempt > self.max_attempts:
+                break
+            diag.order_attempts = attempt
+            diag.orders_tried.append(tuple(order))
+            try:
+                lowerer = RegionLowerer(fused, decls, order=order)
+                return lowerer, lowerer.lower(), list(order)
+            except LoweringError as exc:
+                errors.append(str(exc))
+        raise LoweringError(
+            f"no valid dataflow order lowers region {fused.name}; "
+            f"last error: {errors[-1] if errors else 'none'}"
+        )
+
+    @staticmethod
+    def _original_tensor(fused: FusedEinsum, key: Tuple[int, int]) -> str:
+        """Original tensor name behind a transpose request key."""
+        sid, pos = key
+        for view in fused.transposed_views:
+            if view.sid == sid and view.operand_pos == pos:
+                return view.tensor
+        raise KeyError(key)
+
+
+@register_pass
+class Parallelize(Pass):
+    """Duplicate compute lanes per the schedule's parallelization factors."""
+
+    name = "parallelize"
+    requires = ("graph", "order")
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        applied = False
+        for index_var, factor in ctx.schedule.par.items():
+            if index_var in region.order:
+                apply_parallelization(region.graph, region.order, index_var, factor)
+                applied = True
+        if not applied:
+            region.diag.skipped_passes[self.name] = (
+                "no parallelized index in region order"
+                if ctx.schedule.par
+                else "schedule has no parallelization"
+            )

@@ -1,0 +1,179 @@
+"""The pass pipeline: an ordered, reconfigurable list of named passes.
+
+A :class:`PassPipeline` is immutable in use: ``without``/``with_pass``/
+``reordered`` return new pipelines, so a Session can hand out derived
+configurations without invalidating its compile cache (the pipeline's
+:meth:`fingerprint` is part of the cache key).
+
+``run`` feeds each fusion region of a schedule through the pass list in
+order, timing every pass and collecting :class:`CompileDiagnostics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.einsum.ast import EinsumProgram, TensorDecl
+from ..core.schedule.schedule import Schedule
+from .compiled import CompiledRegion
+from .diagnostics import CompileDiagnostics, RegionDiagnostics
+from .passes import PASS_REGISTRY, Pass, PassContext, RegionState
+
+#: The seed-equivalent compile flow (paper Figure 6).
+DEFAULT_PASS_ORDER: Tuple[str, ...] = (
+    "fuse-regions",
+    "fold-masks",
+    "merge-contractions",
+    "lower-region",
+    "parallelize",
+)
+
+
+class PipelineError(RuntimeError):
+    """Raised for malformed pipelines (unknown, duplicate, misordered passes)."""
+
+
+class PassPipeline:
+    """An ordered list of passes applied region-by-region."""
+
+    def __init__(self, passes: Sequence[Pass]) -> None:
+        self.passes: List[Pass] = list(passes)
+        names = self.names()
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise PipelineError(f"duplicate pass name(s) {sorted(dupes)}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls) -> "PassPipeline":
+        """The standard fuse → fold → merge → lower → parallelize flow."""
+        return cls([PASS_REGISTRY[name]() for name in DEFAULT_PASS_ORDER])
+
+    @classmethod
+    def from_names(cls, names: Sequence[str]) -> "PassPipeline":
+        """Build a pipeline of registered passes by name."""
+        missing = [n for n in names if n not in PASS_REGISTRY]
+        if missing:
+            raise PipelineError(
+                f"unknown pass name(s) {missing}; "
+                f"registered: {sorted(PASS_REGISTRY)}"
+            )
+        return cls([PASS_REGISTRY[n]() for n in names])
+
+    def names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def without(self, *names: str) -> "PassPipeline":
+        """A new pipeline with the named passes removed."""
+        self._check_known(names)
+        return PassPipeline([p for p in self.passes if p.name not in names])
+
+    def with_pass(
+        self,
+        new_pass: Pass,
+        before: Optional[str] = None,
+        after: Optional[str] = None,
+    ) -> "PassPipeline":
+        """A new pipeline with ``new_pass`` inserted (appended by default)."""
+        if before is not None and after is not None:
+            raise PipelineError("give at most one of before/after")
+        anchor = before if before is not None else after
+        if anchor is None:
+            return PassPipeline([*self.passes, new_pass])
+        self._check_known((anchor,))
+        index = self.names().index(anchor) + (0 if before is not None else 1)
+        return PassPipeline([*self.passes[:index], new_pass, *self.passes[index:]])
+
+    def reordered(self, names: Sequence[str]) -> "PassPipeline":
+        """A new pipeline running this one's passes in the given order."""
+        if sorted(names) != sorted(self.names()):
+            raise PipelineError(
+                f"reordered names {list(names)} must be a permutation of "
+                f"{self.names()}"
+            )
+        by_name = {p.name: p for p in self.passes}
+        return PassPipeline([by_name[n] for n in names])
+
+    def _check_known(self, names: Sequence[str]) -> None:
+        unknown = [n for n in names if n not in self.names()]
+        if unknown:
+            raise PipelineError(
+                f"pass name(s) {unknown} not in pipeline {self.names()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hash of pass names, order, and per-pass configuration."""
+        parts = [f"{p.name} {p.config()}" for p in self.passes]
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(
+        self, program: EinsumProgram, schedule: Schedule
+    ) -> Tuple[List[CompiledRegion], Dict[str, TensorDecl], CompileDiagnostics]:
+        """Compile every region of ``schedule``; returns regions + decls + diagnostics."""
+        program.validate()
+        schedule.validate(program)
+        diagnostics = CompileDiagnostics(
+            program=program.name,
+            schedule=schedule.name,
+            pass_names=self.names(),
+        )
+        ctx = PassContext(
+            program=program, schedule=schedule, decls=dict(program.decls)
+        )
+        regions: List[CompiledRegion] = []
+        for position, sids in enumerate(schedule.regions):
+            state = RegionState(
+                position=position,
+                sids=list(sids),
+                name=f"{schedule.name}-r{position}",
+                diag=RegionDiagnostics(
+                    name=f"{schedule.name}-r{position}",
+                    position=position,
+                    sids=list(sids),
+                ),
+            )
+            diagnostics.regions.append(state.diag)
+            for pass_ in self.passes:
+                self._check_requirements(pass_, state)
+                start = time.perf_counter()
+                pass_.run(ctx, state)
+                elapsed = time.perf_counter() - start
+                diagnostics.pass_seconds[pass_.name] = (
+                    diagnostics.pass_seconds.get(pass_.name, 0.0) + elapsed
+                )
+            regions.append(
+                CompiledRegion(
+                    graph=state.graph,
+                    fused=state.fused,
+                    order=list(state.order) if state.order else [],
+                    output_specs=list(state.output_specs),
+                    table_text=state.table_text,
+                    transposes=list(state.transposes),
+                )
+            )
+        return regions, ctx.decls, diagnostics
+
+    @staticmethod
+    def _check_requirements(pass_: Pass, state: RegionState) -> None:
+        missing = [
+            attr for attr in pass_.requires if getattr(state, attr) is None
+        ]
+        if missing:
+            raise PipelineError(
+                f"pass {pass_.name!r} needs region state {missing} which no "
+                "earlier pass produced; is the pipeline missing or "
+                "misordering its producer?"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PassPipeline({self.names()})"

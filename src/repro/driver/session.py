@@ -1,0 +1,168 @@
+"""The Session: machine + pipeline + fingerprint-keyed compile cache.
+
+A :class:`Session` owns a simulated machine and a :class:`PassPipeline`,
+and memoizes compilation: the cache key is the canonical content
+fingerprint of the program, the schedule, and the pipeline configuration,
+so any in-place mutation of a schedule (or a differently configured
+pipeline) misses the cache rather than serving a stale executable, while
+repeated identical compiles — autotuning sweeps, benchmark loops, serving
+the same model over and over — return the same :class:`Executable` object
+at dictionary-lookup cost.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..comal.machines import Machine, RDA_MACHINE
+from ..core.einsum.ast import EinsumProgram
+from ..core.schedule.schedule import Schedule, unfused
+from ..ftree.tensor import SparseTensor
+from .compiled import CompiledProgram, ProgramResult
+from .executable import Executable
+from .pipeline import PassPipeline
+
+CacheKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of a session's compile-cache counters."""
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.entries}/{self.max_entries} cached"
+        )
+
+
+class Session:
+    """Compile-and-run context with a fingerprint-keyed executable cache."""
+
+    def __init__(
+        self,
+        machine: Machine = RDA_MACHINE,
+        pipeline: Optional[PassPipeline] = None,
+        cache_size: int = 256,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        self.machine = machine
+        self.pipeline = pipeline or PassPipeline.default()
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[CacheKey, Executable]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def cache_key(
+        self, program: EinsumProgram, schedule: Schedule
+    ) -> CacheKey:
+        return (
+            program.fingerprint(),
+            schedule.fingerprint(),
+            self.pipeline.fingerprint(),
+        )
+
+    def compile(
+        self, program: EinsumProgram, schedule: Optional[Schedule] = None
+    ) -> Executable:
+        """Compile ``program`` under ``schedule`` (default: unfused), cached."""
+        schedule = schedule or unfused(program)
+        key = self.cache_key(program, schedule)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._misses += 1
+        start = time.perf_counter()
+        regions, decls, diagnostics = self.pipeline.run(program, schedule)
+        compiled = CompiledProgram(
+            program=program,
+            schedule=schedule,
+            regions=regions,
+            decls=decls,
+            compile_seconds=time.perf_counter() - start,
+        )
+        diagnostics.compile_seconds = compiled.compile_seconds
+        executable = Executable(compiled, self.machine, diagnostics, key)
+        self._cache[key] = executable
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return executable
+
+    # ------------------------------------------------------------------
+    # Convenience execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: EinsumProgram,
+        binding: Dict[str, SparseTensor],
+        schedule: Optional[Schedule] = None,
+        machine: Optional[Machine] = None,
+    ) -> ProgramResult:
+        """Compile (cached) and execute in one call."""
+        return self.compile(program, schedule)(binding, machine=machine)
+
+    def compare_schedules(
+        self,
+        program: EinsumProgram,
+        binding: Dict[str, SparseTensor],
+        schedules: Sequence[Schedule],
+        machine: Optional[Machine] = None,
+    ) -> Dict[str, ProgramResult]:
+        """Run the program under several schedules (fusion sweeps)."""
+        return {
+            schedule.name: self.run(program, binding, schedule, machine)
+            for schedule in schedules
+        }
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._cache),
+            max_entries=self.cache_size,
+        )
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Session machine={self.machine.name!r} "
+            f"pipeline={self.pipeline.names()} cache={self.cache_info()}>"
+        )
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide Session backing the legacy ``repro.pipeline`` API.
+
+    Sharing one cache here is what makes the old free functions
+    (``run``/``compare_schedules``) stop recompiling on every call: compiled
+    artifacts depend only on program/schedule/pipeline content, never on
+    tensor data, so reuse across callers is sound.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

@@ -126,8 +126,6 @@ class ModelBuilder:
             b_access = (b.name, (k, j))
         blocked = a.blocked or b.blocked
         op = ("bmt" if transpose_b else "bmm") if blocked else "mul"
-        if blocked and not transpose_b:
-            op = "bmm"
         name = self.fresh_name("mm")
         stmt_order = None
         if order:
@@ -141,7 +139,7 @@ class ModelBuilder:
 
     def mul(self, a: SymTensor, b: SymTensor, label: str | None = None) -> SymTensor:
         """Elementwise product, broadcasting ``b`` over missing leading dims."""
-        return self._ewise("mul" if not (a.blocked or b.blocked) else "mul", a, b, label)
+        return self._ewise("mul", a, b, label)
 
     def add(self, a: SymTensor, b: SymTensor, label: str | None = None) -> SymTensor:
         """Elementwise sum; ``b`` may be a vector broadcast over rows."""
@@ -209,6 +207,22 @@ class ModelBuilder:
         Under fusion this folds into the producing contraction (SDDMM).
         """
         return self._ewise("mul", x, mask, label)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, schedule=None, session=None):
+        """Compile the traced program into an :class:`~repro.driver.Executable`.
+
+        Uses the process-wide default session unless one is given, so
+        repeated compiles of an identical trace are served from cache.
+        The driver import is deferred: the frontend layer otherwise only
+        depends on the Einsum IR.
+        """
+        from ..driver.session import default_session
+
+        session = session or default_session()
+        return session.compile(self.program, schedule)
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers for schedules

@@ -67,6 +67,18 @@ class ModelBundle:
     def schedules(self, granularities: Sequence[str] = ("unfused", "partial", "full")) -> List[Schedule]:
         return [self.schedule(g) for g in granularities]
 
+    def executable(self, granularity: str = "partial", session=None):
+        """Compile this model at a granularity via the driver Session.
+
+        Returns a callable :class:`~repro.driver.Executable`; pass a
+        session to control the machine/pipeline or share a compile cache,
+        otherwise the process-wide default session is used.
+        """
+        from ..driver.session import default_session
+
+        session = session or default_session()
+        return session.compile(self.program, self.schedule(granularity))
+
 
 def softmax_rows(x: np.ndarray, keep: np.ndarray | None = None) -> np.ndarray:
     """Row softmax over kept entries (sparse-attention semantics)."""

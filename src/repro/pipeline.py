@@ -1,204 +1,60 @@
-"""End-to-end FuseFlow pipeline: Einsum program -> fused SAMML -> simulation.
+"""Legacy compile/execute entry points, now thin shims over :mod:`repro.driver`.
 
-The pipeline orchestrates the full compilation flow of Figure 6:
+The pipeline orchestration itself lives in the driver subsystem: named
+passes (:mod:`repro.driver.passes`) run by a :class:`~repro.driver.PassPipeline`
+under a caching :class:`~repro.driver.Session`.  These free functions keep
+the original seed API working unchanged — same signatures, same returned
+dataclasses — while routing everything through one process-wide default
+session, so repeated calls (sweeps, benchmarks, autotuning) no longer pay
+full compile cost each time.
 
-1. fuse each scheduled region (cross-expression fusion, Section 5),
-2. optionally fold masks / apply the global-iteration rewrite,
-3. lower each region through fusion tables (Section 6),
-4. apply parallelization,
-5. execute region graphs in order on the Comal-like simulator, materializing
-   region outputs and binding them as inputs of later regions.
+Prefer the Session API in new code::
 
-The public entry points are :func:`compile_program` and :func:`execute`
-(plus :func:`run` which does both).
+    from repro import Session
+
+    session = Session()
+    exe = session.compile(program, schedule)   # cached by fingerprint
+    result = exe(binding)                      # or exe.run(A=..., X=...)
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
-from .comal.engine import SimResult, run_timed
 from .comal.machines import Machine, RDA_MACHINE
-from .comal.metrics import ProgramMetrics
-from .core.einsum.ast import EinsumProgram, TensorDecl
-from .core.fusion.fuse import FusedEinsum, fold_masks, fuse_region, merge_contractions
-from .core.schedule.par import apply_parallelization
-from .core.schedule.schedule import Schedule, unfused
-from .core.tables.lower import OutputSpec, RegionLowerer
+from .core.einsum.ast import EinsumProgram
+from .core.schedule.schedule import Schedule
+from .driver.compiled import (
+    CompiledProgram,
+    CompiledRegion,
+    ProgramResult,
+    execute_compiled,
+)
+from .driver.session import default_session
 from .ftree.tensor import SparseTensor
-from .sam.graph import SAMGraph
 
-
-@dataclass
-class CompiledRegion:
-    """One fused region's compiled form."""
-
-    graph: SAMGraph
-    fused: FusedEinsum
-    order: List[str]
-    output_specs: List[OutputSpec]
-    table_text: str
-    # Permuted copies to materialize: (original tensor, new name, mode order).
-    transposes: List[Tuple[str, str, Tuple[int, ...]]] = field(default_factory=list)
-
-
-@dataclass
-class CompiledProgram:
-    """A compiled model: region graphs plus declaration registry."""
-
-    program: EinsumProgram
-    schedule: Schedule
-    regions: List[CompiledRegion]
-    decls: Dict[str, TensorDecl]
-    compile_seconds: float = 0.0
-
-    def total_nodes(self) -> int:
-        return sum(r.graph.node_count() for r in self.regions)
-
-    def describe(self) -> str:
-        lines = [
-            f"compiled {self.program.name} under {self.schedule.name}: "
-            f"{len(self.regions)} region(s), {self.total_nodes()} nodes, "
-            f"{self.compile_seconds * 1e3:.1f} ms"
-        ]
-        for region in self.regions:
-            lines.append(
-                f"  {region.graph.name}: order {region.order}, "
-                f"{region.graph.node_count()} nodes, outputs "
-                f"{[s.name for s in region.output_specs]}"
-            )
-        return "\n".join(lines)
-
-
-@dataclass
-class ProgramResult:
-    """Outcome of executing a compiled program."""
-
-    metrics: ProgramMetrics
-    tensors: Dict[str, SparseTensor]
-    region_results: List[SimResult] = field(default_factory=list)
-
-    def output(self, name: str) -> SparseTensor:
-        return self.tensors[name]
+__all__ = [
+    "CompiledProgram",
+    "CompiledRegion",
+    "ProgramResult",
+    "compile_program",
+    "execute",
+    "run",
+    "compare_schedules",
+]
 
 
 def compile_program(
     program: EinsumProgram, schedule: Schedule | None = None
 ) -> CompiledProgram:
-    """Compile ``program`` under ``schedule`` (default: unfused)."""
-    start = time.perf_counter()
-    program.validate()
-    schedule = schedule or unfused(program)
-    schedule.validate(program)
-    decls = dict(program.decls)
-    regions: List[CompiledRegion] = []
-    for pos, sids in enumerate(schedule.regions):
-        fused = fuse_region(
-            program,
-            sids,
-            name=f"{schedule.name}-r{pos}",
-            extra_orders={
-                sid: order
-                for sid, order in schedule.stmt_orders.items()
-                if sid in sids
-            },
-            decls=decls,
-        )
-        if schedule.fold_masks and len(sids) > 1:
-            fused = fold_masks(fused)
-        if schedule.global_rewrite and len(sids) > 1:
-            fused = merge_contractions(fused)
-        lowerer, graph, order = _lower_with_order_fallback(
-            fused, decls, schedule.orders.get(pos)
-        )
-        for index_var, factor in schedule.par.items():
-            if index_var in order:
-                apply_parallelization(graph, order, index_var, factor)
-        transposes = [
-            (self_orig(fused, key), name, mode_order)
-            for key, (name, mode_order) in lowerer.transpose_requests.items()
-        ]
-        for spec in lowerer.output_specs:
-            decls[spec.name] = TensorDecl(
-                spec.name, spec.shape, spec.fmt, is_input=False
-            )
-        regions.append(
-            CompiledRegion(
-                graph=graph,
-                fused=fused,
-                order=list(order),
-                output_specs=list(lowerer.output_specs),
-                table_text=lowerer.table.render(),
-                transposes=transposes,
-            )
-        )
-    compiled = CompiledProgram(
-        program=program,
-        schedule=schedule,
-        regions=regions,
-        decls=decls,
-    )
-    compiled.compile_seconds = time.perf_counter() - start
-    return compiled
+    """Compile ``program`` under ``schedule`` (default: unfused).
 
-
-def _lower_with_order_fallback(
-    fused: FusedEinsum,
-    decls: Dict[str, TensorDecl],
-    pinned_order: Optional[List[str]],
-    max_attempts: int = 200,
-):
-    """Lower a region, falling back across valid dataflow orders.
-
-    The first topological sort is usually lowerable, but transposed views or
-    unusual POGs can leave it stream-incompatible; FuseFlow then walks other
-    valid orders (it "enumerates valid dataflow orders that do not break
-    fusion", Section 7) until one lowers.  A pinned order from the schedule
-    is never overridden — its failure is the user's to resolve.
+    The result is served from the default session's cache: fingerprint-
+    identical calls return the *same* :class:`CompiledProgram` object.
+    Treat it as immutable — mutating it would corrupt the cached
+    executable for every later identical compile in the process.
     """
-    from .core.tables.lower import LoweringError
-
-    if pinned_order is not None:
-        lowerer = RegionLowerer(fused, decls, order=pinned_order)
-        return lowerer, lowerer.lower(), list(pinned_order)
-    candidates = [fused.first_order()]
-    errors: List[str] = []
-    tried = 0
-    seen = {tuple(candidates[0])}
-    generator = fused.pog.all_orders(limit=max_attempts)
-    while True:
-        for order in candidates:
-            tried += 1
-            try:
-                lowerer = RegionLowerer(fused, decls, order=order)
-                return lowerer, lowerer.lower(), list(order)
-            except LoweringError as exc:
-                errors.append(str(exc))
-        candidates = []
-        if tried >= max_attempts:
-            break
-        for order in generator:
-            if tuple(order) not in seen:
-                seen.add(tuple(order))
-                candidates = [order]
-                break
-        if not candidates:
-            break
-    raise LoweringError(
-        f"no valid dataflow order lowers region {fused.name}; "
-        f"last error: {errors[-1] if errors else 'none'}"
-    )
-
-
-def self_orig(fused: FusedEinsum, key: Tuple[int, int]) -> str:
-    """Original tensor name behind a transpose request key."""
-    sid, pos = key
-    for view in fused.transposed_views:
-        if view.sid == sid and view.operand_pos == pos:
-            return view.tensor
-    raise KeyError(key)
+    return default_session().compile(program, schedule).compiled
 
 
 def execute(
@@ -207,26 +63,7 @@ def execute(
     machine: Machine = RDA_MACHINE,
 ) -> ProgramResult:
     """Run all region graphs in order, chaining materialized outputs."""
-    bind: Dict[str, Any] = dict(binding)
-    metrics = ProgramMetrics(label=compiled.schedule.name)
-    produced: Dict[str, SparseTensor] = {}
-    region_results: List[SimResult] = []
-    for region in compiled.regions:
-        for orig, new_name, mode_order in region.transposes:
-            if new_name not in bind:
-                source = bind[orig]
-                bind[new_name] = source.permuted_copy(mode_order, name=new_name)
-                # A permuted copy is a DRAM round trip of the whole tensor.
-                extra = 2 * source.bytes_total()
-                metrics.dram_bytes += extra
-                metrics.cycles += extra / machine.dram_bandwidth
-        result = run_timed(region.graph, bind, machine)
-        metrics.add(result, region.graph.name)
-        for name, tensor in result.results.items():
-            bind[name] = tensor
-            produced[name] = tensor
-        region_results.append(result)
-    return ProgramResult(metrics=metrics, tensors=produced, region_results=region_results)
+    return execute_compiled(compiled, binding, machine)
 
 
 def run(
@@ -235,9 +72,9 @@ def run(
     schedule: Schedule | None = None,
     machine: Machine = RDA_MACHINE,
 ) -> ProgramResult:
-    """Compile and execute in one call."""
-    compiled = compile_program(program, schedule)
-    return execute(compiled, binding, machine)
+    """Compile (cached) and execute in one call."""
+    executable = default_session().compile(program, schedule)
+    return executable(binding, machine=machine)
 
 
 def compare_schedules(
