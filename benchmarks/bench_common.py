@@ -16,11 +16,10 @@ from __future__ import annotations
 import functools
 from typing import Callable, Dict
 
-import numpy as np
-
 from repro.comal import RDA_MACHINE
 from repro.comal.metrics import format_table
 from repro.driver import Session
+from repro.sweep import sweep_schedules
 
 # One shared session for every benchmark module: a fusion sweep touching the
 # same (model, granularity) pair twice pays compile cost once.  Executables
@@ -58,18 +57,28 @@ def verified_run(bundle, schedule, machine=RDA_MACHINE):
     """Run a model bundle and assert functional correctness."""
     executable = SESSION.compile(bundle.program, schedule)
     result = executable(bundle.binding, machine=machine)
-    out = result.tensors[bundle.output].to_dense()
-    error = float(np.abs(out - bundle.reference).max())
-    assert error < 1e-6, f"{bundle.name}/{schedule.name}: error {error}"
+    bundle.verify(result)
     return result
 
 
 def fusion_sweep(bundle, machine=RDA_MACHINE, granularities=("unfused", "partial", "full")):
-    """Cycles per fusion granularity, with speedups over unfused."""
+    """Cycles per fusion granularity, with speedups over unfused.
+
+    Drives the schedules through the sweep subsystem's in-process primitive
+    (compile-cached via the shared SESSION) and verifies every granularity
+    against the dense reference.
+    """
+    runs = sweep_schedules(
+        SESSION,
+        bundle.program,
+        bundle.binding,
+        bundle.schedules(granularities),
+        machine=machine,
+    )
     cycles: Dict[str, float] = {}
-    for granularity in granularities:
-        result = verified_run(bundle, bundle.schedule(granularity), machine)
-        cycles[granularity] = result.metrics.cycles
+    for granularity, run in zip(granularities, runs):
+        bundle.verify(run.result)
+        cycles[granularity] = run.cycles
     base = cycles[granularities[0]]
     speedups = {g: base / c for g, c in cycles.items()}
     return cycles, speedups

@@ -1,0 +1,137 @@
+"""Paper-style evaluation grid driven end-to-end by the sweep subsystem.
+
+Runs the (model x schedule x machine) grid the `fuseflow sweep run`
+default describes — 12 points across two models and two machines — through
+:class:`repro.sweep.SweepRunner` with worker processes, persists the JSONL
+results, emits the JSON summary via ``sweep report``'s machinery, and then
+*consumes that JSON* (not the in-memory objects) to reproduce the
+fusion-speedup table: every configuration verified, partial fusion winning
+for GCN, full fusion winning for SAE.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from bench_common import print_figure
+from repro.sweep import (
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    bench_payload,
+    summarize,
+    write_summary_json,
+)
+
+SPEC = SweepSpec(
+    name="paper_grid",
+    models=["gcn", "sae"],
+    schedules=["unfused", "partial", "full"],
+    machines=["rda", "fpga"],
+    model_args={"nodes": 48, "density": 0.1},
+)
+
+
+@pytest.fixture(scope="module")
+def summary_json(tmp_path_factory):
+    """Run the sweep in parallel, report it, and hand back the JSON file."""
+    tmp = tmp_path_factory.mktemp("sweep_grid")
+    results = tmp / "results.jsonl"
+    store = ResultStore.create(str(results), SPEC)
+    outcome = SweepRunner(SPEC, store=store, workers=2).run()
+    store.close()
+    assert outcome.failed == 0, outcome.describe()
+    assert outcome.ran == 12
+
+    summary = summarize(ResultStore.open(str(results)).records(),
+                        SPEC.baseline_schedule, SPEC.name)
+    path = tmp / "summary.json"
+    write_summary_json(summary, str(path))
+    return str(path)
+
+
+def test_sweep_grid_speedups(summary_json):
+    with open(summary_json, "r", encoding="utf-8") as fh:
+        summary = json.loads(fh.read())
+
+    assert summary["points_ok"] == 12
+    assert summary["points_failed"] == 0
+    assert summary["verified"] is True
+
+    rows = []
+    by_group = {}
+    for entry in summary["speedups"]:
+        key = f"{entry['model']}/{entry['machine']}"
+        by_group[key] = entry["speedup"]
+        rows.append([
+            key,
+            f"{entry['speedup']['unfused']:.2f}x",
+            f"{entry['speedup']['partial']:.2f}x",
+            f"{entry['speedup']['full']:.2f}x",
+        ])
+    print_figure(
+        "Sweep grid: fusion speedups over unfused (from sweep report JSON)",
+        rows,
+        ["model/machine", "unfused", "partial", "full"],
+    )
+
+    for machine in ("rda", "fpga"):
+        # Paper shape: partial fusion is the right GCN granularity; full
+        # fusion (recomputation) wins for the SAE on every machine.
+        gcn = by_group[f"gcn/{machine}"]
+        sae = by_group[f"sae/{machine}"]
+        assert gcn["partial"] > 1.0 and gcn["partial"] > gcn["full"]
+        assert sae["full"] > sae["partial"] > 1.0
+
+    best = summary["best_per_model"]
+    assert best["gcn"]["schedule"] == "partial"
+    assert best["sae"]["schedule"] == "full"
+
+    payload = bench_payload(summary)
+    assert payload["benchmark"] == "sweep_paper_grid"
+    assert len(payload["results"]) == 12
+
+
+def test_sweep_cli_roundtrip(summary_json, tmp_path):
+    """`fuseflow sweep run/report` produce the same summary via subprocess."""
+    results = tmp_path / "cli.jsonl"
+    run = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "sweep", "run", "--quiet",
+         "--name", "paper_grid", "--nodes", "48", "--density", "0.1",
+         "--workers", "2", "--out", str(results)],
+        capture_output=True, text=True,
+    )
+    assert run.returncode == 0, run.stderr
+    report_json = tmp_path / "report.json"
+    report = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "sweep", "report",
+         "--out", str(results), "--json", str(report_json)],
+        capture_output=True, text=True,
+    )
+    assert report.returncode == 0, report.stderr
+    with open(report_json, "r", encoding="utf-8") as fh:
+        cli_summary = json.load(fh)
+    with open(summary_json, "r", encoding="utf-8") as fh:
+        api_summary = json.load(fh)
+    cli_cycles = {r["label"]: r["metrics"]["cycles"] for r in cli_summary["results"]}
+    api_cycles = {r["label"]: r["metrics"]["cycles"] for r in api_summary["results"]}
+    assert cli_cycles == api_cycles
+
+
+def test_sweep_resume_is_instant(summary_json, tmp_path, benchmark):
+    """Resume over a fully-populated store runs zero points."""
+    results = tmp_path / "resume.jsonl"
+    store = ResultStore.create(str(results), SPEC)
+    SweepRunner(SPEC, store=store, workers=1).run()
+    store.close()
+
+    def resume():
+        outcome = SweepRunner(
+            SPEC, store=ResultStore.open(str(results)), workers=1, resume=True
+        ).run()
+        assert outcome.ran == 0 and outcome.skipped == 12
+        return outcome
+
+    benchmark(resume)

@@ -12,7 +12,10 @@ Examples::
 
     fuseflow run --model gcn --fusion partial
     fuseflow run --model gpt3 --fusion full --block 8 --par x1=4
-    fuseflow sweep --model graphsage
+    fuseflow sweep quick --model graphsage
+    fuseflow sweep run --models gcn,sae --machines rda,fpga --out sweep.jsonl
+    fuseflow sweep resume --out sweep.jsonl
+    fuseflow sweep report --out sweep.jsonl --json report.json
     fuseflow estimate --model gcn
     fuseflow autotune --model sae --nodes 16
     fuseflow compile --model sae --fusion full --show-graph --diagnostics
@@ -31,11 +34,21 @@ from .core.heuristic.model import stats_from_binding
 from .core.heuristic.prune import rank_schedules
 from .core.schedule.autotune import autotune
 from .driver import Session
-from .models.common import ModelBundle
+from .models.common import VERIFY_TOLERANCE, ModelBundle
 from .models.gcn import gcn_on_synthetic
 from .models.gpt3 import build_gpt3
 from .models.graphsage import graphsage_on_synthetic
 from .models.sae import build_sae
+from .sweep import (
+    ResultStore,
+    SweepSpec,
+    render_summary,
+    run_sweep,
+    summarize,
+    sweep_schedules,
+    write_bench_json,
+    write_summary_json,
+)
 
 
 def _build_model(args) -> ModelBundle:
@@ -88,8 +101,7 @@ def cmd_run(args) -> int:
     session = _session(args)
     exe = session.compile(bundle.program, schedule)
     result = exe(bundle.binding)
-    out = result.tensors[bundle.output].to_dense()
-    err = float(np.abs(out - bundle.reference).max())
+    err = bundle.max_abs_err(result)
     m = result.metrics
     print(f"model      : {bundle.name}")
     print(f"schedule   : {schedule.name} ({len(schedule.regions)} regions)")
@@ -98,24 +110,130 @@ def cmd_run(args) -> int:
     print(f"dram bytes : {m.dram_bytes}")
     print(f"op intensity: {m.operational_intensity():.3f} flops/byte")
     print(f"max |err|  : {err:.3e} (vs dense reference)")
-    return 0 if err < 1e-6 else 1
+    return 0 if err < VERIFY_TOLERANCE else 1
 
 
-def cmd_sweep(args) -> int:
+def cmd_sweep_quick(args) -> int:
+    """Single-model fusion-granularity comparison (the original sweep)."""
     bundle = _build_model(args)
     session = _session(args)
-    baseline = None
+    runs = sweep_schedules(
+        session,
+        bundle.program,
+        bundle.binding,
+        bundle.schedules(("unfused", "partial", "full")),
+    )
+    baseline = runs[0].cycles if runs else 1.0
     print(f"{'granularity':12s} {'cycles':>12s} {'speedup':>8s} {'flops':>12s} {'bytes':>12s}")
-    for gran in ("unfused", "partial", "full"):
-        result = session.run(bundle.program, bundle.binding, bundle.schedule(gran))
-        m = result.metrics
-        if baseline is None:
-            baseline = m.cycles
+    for gran, run in zip(("unfused", "partial", "full"), runs):
+        m = run.result.metrics
         print(
             f"{gran:12s} {m.cycles:12.0f} {baseline / m.cycles:8.2f} "
             f"{m.flops:12d} {m.dram_bytes:12d}"
         )
     return 0
+
+
+def _split_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _sweep_spec_from_args(args) -> SweepSpec:
+    if args.spec:
+        return SweepSpec.load(args.spec)
+    model_args: Dict[str, object] = {}
+    for key in ("nodes", "density", "hidden", "seq_len", "d_model", "block", "seed"):
+        value = getattr(args, key, None)
+        if value is not None:
+            model_args[key] = value
+    pipelines = None
+    if args.pipeline:
+        pipelines = [_split_csv(spec) for spec in args.pipeline]
+    return SweepSpec(
+        name=args.name,
+        models=_split_csv(args.models),
+        datasets=_split_csv(args.datasets) if args.datasets else None,
+        schedules=_split_csv(args.schedules),
+        machines=_split_csv(args.machines),
+        pipelines=pipelines,
+        model_args=model_args,
+        par=_parse_par(args.par),
+        baseline_schedule=args.baseline,
+    )
+
+
+def _sweep_progress():
+    state = {"done": 0}
+
+    def report(record: Dict[str, object]) -> None:
+        state["done"] += 1
+        status = record.get("status")
+        if status == "ok":
+            detail = f"{record['metrics']['cycles']:.0f} cycles"
+        else:
+            detail = record.get("error", "unknown error")
+        print(f"[{state['done']}] {status:5s} {record['label']}: {detail}")
+
+    return report
+
+
+def cmd_sweep_run(args, resume: bool = False) -> int:
+    if resume and args.out is None:
+        raise SystemExit("sweep resume needs --out pointing at a results file")
+    # On resume the spec is read back from the store header inside run_sweep.
+    spec = SweepSpec() if resume else _sweep_spec_from_args(args)
+    try:
+        outcome = run_sweep(
+            spec,
+            store_path=args.out,
+            workers=args.workers,
+            resume=resume,
+            force=getattr(args, "force", False),
+            progress=None if args.quiet else _sweep_progress(),
+        )
+    except Exception as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+    print(outcome.describe())
+    # Summarize everything known for this sweep: the store when persisted
+    # (covers resumed points), else just this run's records.
+    if args.out:
+        store = ResultStore.open(args.out)
+        records = store.records()
+        spec = store.spec() or spec
+    else:
+        records = outcome.records
+    summary = summarize(records, spec.baseline_schedule, spec.name)
+    print()
+    print(render_summary(summary))
+    return 1 if outcome.failed else 0
+
+
+def cmd_sweep_resume(args) -> int:
+    return cmd_sweep_run(args, resume=True)
+
+
+def cmd_sweep_report(args) -> int:
+    try:
+        store = ResultStore.open(args.out)
+        spec = store.spec()
+    except Exception as exc:
+        raise SystemExit(str(exc))
+    if spec is None:
+        raise SystemExit(
+            f"{args.out!r} has no spec header; not a sweep results file?"
+        )
+    baseline = args.baseline or spec.baseline_schedule
+    summary = summarize(store.records(), baseline, spec.name)
+    print(render_summary(summary))
+    if args.json:
+        write_summary_json(summary, args.json)
+        print(f"\nwrote JSON summary to {args.json}")
+    if args.bench_json:
+        path = write_bench_json(
+            summary, None if args.bench_json == "auto" else args.bench_json
+        )
+        print(f"wrote BENCH payload to {path}")
+    return 1 if summary["points_failed"] else 0
 
 
 def cmd_estimate(args) -> int:
@@ -161,12 +279,9 @@ def cmd_autotune(args) -> int:
     served = "cache hit" if after.hits > before.hits else "cache miss"
     print(f"cache      : {after} (winner recompile: {served})")
     if args.verify:
-        result = exe(bundle.binding)
-        err = float(np.abs(
-            result.tensors[bundle.output].to_dense() - bundle.reference
-        ).max())
+        err = bundle.max_abs_err(exe(bundle.binding))
         print(f"max |err|  : {err:.3e} (vs dense reference)")
-        return 0 if err < 1e-6 else 1
+        return 0 if err < VERIFY_TOLERANCE else 1
     return 0
 
 
@@ -202,9 +317,68 @@ def main(argv: List[str] | None = None) -> int:
     p_run.add_argument("--par", action="append", help="index=factor parallelization")
     p_run.set_defaults(fn=cmd_run)
 
-    p_sweep = sub.add_parser("sweep", help="compare fusion granularities")
-    _add_model_args(p_sweep)
-    p_sweep.set_defaults(fn=cmd_sweep)
+    p_sweep = sub.add_parser(
+        "sweep", help="parallel experiment sweeps over the design space"
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    p_sw_run = sweep_sub.add_parser(
+        "run", help="execute a (model x dataset x schedule x machine) grid"
+    )
+    p_sw_run.add_argument("--name", default="grid", help="sweep name for reports")
+    p_sw_run.add_argument("--spec", help="JSON SweepSpec file (overrides grid flags)")
+    p_sw_run.add_argument("--models", default="gcn,sae",
+                          help="comma-separated models")
+    p_sw_run.add_argument("--datasets", default=None,
+                          help="comma-separated Table-2 dataset names (default: synthetic)")
+    p_sw_run.add_argument("--schedules", default="unfused,partial,full",
+                          help="comma-separated fusion granularities")
+    p_sw_run.add_argument("--machines", default="rda,fpga",
+                          help="comma-separated timing models")
+    p_sw_run.add_argument("--pipeline", action="append",
+                          help="comma-separated pass names; repeatable for variants")
+    p_sw_run.add_argument("--baseline", default="unfused",
+                          help="schedule speedups are reported against")
+    p_sw_run.add_argument("--nodes", type=int, default=None, help="graph nodes / SAE dim")
+    p_sw_run.add_argument("--density", type=float, default=None, help="graph density")
+    p_sw_run.add_argument("--hidden", type=int, default=None, help="hidden width")
+    p_sw_run.add_argument("--seq-len", type=int, default=None, help="GPT-3 sequence length")
+    p_sw_run.add_argument("--d-model", type=int, default=None, help="GPT-3 model width")
+    p_sw_run.add_argument("--block", type=int, default=None, help="GPT-3 attention block")
+    p_sw_run.add_argument("--seed", type=int, default=None, help="synthetic data seed")
+    p_sw_run.add_argument("--par", action="append", help="index=factor parallelization")
+    p_sw_run.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: cpu-based)")
+    p_sw_run.add_argument("--out", default=None, help="JSONL results file")
+    p_sw_run.add_argument("--force", action="store_true",
+                          help="overwrite an existing results file")
+    p_sw_run.add_argument("--quiet", action="store_true", help="no per-point progress")
+    p_sw_run.set_defaults(fn=cmd_sweep_run)
+
+    p_sw_resume = sweep_sub.add_parser(
+        "resume", help="continue a sweep, skipping completed points"
+    )
+    p_sw_resume.add_argument("--out", required=True, help="JSONL results file")
+    p_sw_resume.add_argument("--workers", type=int, default=None)
+    p_sw_resume.add_argument("--quiet", action="store_true")
+    p_sw_resume.set_defaults(fn=cmd_sweep_resume)
+
+    p_sw_report = sweep_sub.add_parser(
+        "report", help="summarize a results file (text / JSON / BENCH json)"
+    )
+    p_sw_report.add_argument("--out", required=True, help="JSONL results file")
+    p_sw_report.add_argument("--baseline", default=None,
+                             help="override the baseline schedule")
+    p_sw_report.add_argument("--json", default=None, help="write JSON summary here")
+    p_sw_report.add_argument("--bench-json", default=None,
+                             help="write BENCH_*.json here ('auto' for default name)")
+    p_sw_report.set_defaults(fn=cmd_sweep_report)
+
+    p_sw_quick = sweep_sub.add_parser(
+        "quick", help="compare fusion granularities for one model"
+    )
+    _add_model_args(p_sw_quick)
+    p_sw_quick.set_defaults(fn=cmd_sweep_quick)
 
     p_est = sub.add_parser("estimate", help="rank schedules with the heuristic")
     _add_model_args(p_est)

@@ -43,15 +43,25 @@ class SimResult:
         """Tensors produced by writer nodes."""
         return self.functional.results if self.functional else {}
 
+    def _check_cycles(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(
+                f"SimResult has negative cycle count {self.cycles}; this is "
+                "a simulator bug (timestamps must be non-negative), not a "
+                "utilization of zero"
+            )
+
     def compute_utilization(self, machine: Machine) -> float:
         """Achieved FLOPs/cycle over peak — the Figure 1 "SM util" proxy."""
-        if self.cycles <= 0:
+        self._check_cycles()
+        if self.cycles == 0:
             return 0.0
         return self.flops / (self.cycles * machine.peak_flops_per_cycle)
 
     def memory_utilization(self, machine: Machine) -> float:
         """Achieved DRAM bytes/cycle over peak bandwidth."""
-        if self.cycles <= 0:
+        self._check_cycles()
+        if self.cycles == 0:
             return 0.0
         return self.dram_bytes / (self.cycles * machine.dram_bandwidth)
 

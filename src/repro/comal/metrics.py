@@ -42,13 +42,22 @@ class ProgramMetrics:
     def operational_intensity(self) -> float:
         return self.flops / self.dram_bytes if self.dram_bytes else float("inf")
 
+    def _check_cycles(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(
+                f"ProgramMetrics has negative cycle count {self.cycles}; "
+                "this is a simulator bug, not a utilization of zero"
+            )
+
     def compute_utilization(self, machine: Machine) -> float:
-        if self.cycles <= 0:
+        self._check_cycles()
+        if self.cycles == 0:
             return 0.0
         return self.flops / (self.cycles * machine.peak_flops_per_cycle)
 
     def memory_utilization(self, machine: Machine) -> float:
-        if self.cycles <= 0:
+        self._check_cycles()
+        if self.cycles == 0:
             return 0.0
         return self.dram_bytes / (self.cycles * machine.dram_bandwidth)
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ...comal.machines import Machine, RDA_MACHINE
 from ...driver.executable import Executable
 from ...driver.session import Session
+from ...driver.sweeping import sweep_schedules
 from ..einsum.ast import EinsumProgram
 from ..heuristic.model import FusionHeuristic, TensorStats
 from ..heuristic.prune import roofline_score
@@ -116,23 +117,26 @@ def autotune(
         scored.append((roofline_score(estimate, machine), schedule))
     scored.sort(key=lambda pair: pair[0])
 
+    # The simulate-top-k stage is an in-process schedule sweep: infeasible
+    # candidates are skipped without consuming budget (an unfused boundary
+    # always exists as a fallback).
+    runs = sweep_schedules(
+        session,
+        program,
+        binding,
+        [schedule for _, schedule in scored],
+        machine=machine,
+        limit=simulate_top,
+        skip_errors=True,
+    )
+    simulated = len(runs)
+    ranking: List[Tuple[str, float]] = [(r.schedule.name, r.cycles) for r in runs]
     best_schedule: Optional[Schedule] = None
     best_cycles = float("inf")
-    simulated = 0
-    ranking: List[Tuple[str, float]] = []
-    for score, schedule in scored:
-        if simulated >= simulate_top:
-            break
-        try:
-            result = session.run(program, binding, schedule, machine)
-        except Exception:
-            continue  # infeasible under this granularity; next candidate
-        simulated += 1
-        cycles = result.metrics.cycles
-        ranking.append((schedule.name, cycles))
-        if cycles < best_cycles:
-            best_cycles = cycles
-            best_schedule = schedule
+    for run in runs:
+        if run.cycles < best_cycles:
+            best_cycles = run.cycles
+            best_schedule = run.schedule
     if best_schedule is None:
         raise RuntimeError("no candidate schedule could be compiled and run")
     winner = session.compile(program, best_schedule)  # cache hit

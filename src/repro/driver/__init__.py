@@ -39,11 +39,14 @@ from .passes import (
 )
 from .pipeline import DEFAULT_PASS_ORDER, PassPipeline, PipelineError
 from .session import CacheInfo, Session, default_session
+from .sweeping import ScheduleRun, sweep_schedules
 
 __all__ = [
     "Session",
     "default_session",
     "CacheInfo",
+    "ScheduleRun",
+    "sweep_schedules",
     "Executable",
     "PassPipeline",
     "PipelineError",

@@ -24,6 +24,7 @@ from ..ftree.tensor import SparseTensor
 from .compiled import CompiledProgram, ProgramResult
 from .executable import Executable
 from .pipeline import PassPipeline
+from .sweeping import sweep_schedules
 
 CacheKey = Tuple[str, str, str]
 
@@ -124,8 +125,8 @@ class Session:
     ) -> Dict[str, ProgramResult]:
         """Run the program under several schedules (fusion sweeps)."""
         return {
-            schedule.name: self.run(program, binding, schedule, machine)
-            for schedule in schedules
+            run.schedule.name: run.result
+            for run in sweep_schedules(self, program, binding, schedules, machine)
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,60 @@
+"""In-process schedule sweeps: one program, many schedules, one session.
+
+This is the loop primitive the autotuner's simulate-top-k stage,
+``Session.compare_schedules``, the benchmark harness, and the higher-level
+:mod:`repro.sweep` subsystem all share instead of hand-rolling.  It lives
+in the driver (below those layers) because it needs nothing beyond a
+session-like object with ``run``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..comal.machines import Machine
+from ..core.einsum.ast import EinsumProgram
+from ..core.schedule.schedule import Schedule
+from .compiled import ProgramResult
+
+
+@dataclass
+class ScheduleRun:
+    """Outcome of one schedule in an in-process sweep."""
+
+    schedule: Schedule
+    result: ProgramResult
+
+    @property
+    def cycles(self) -> float:
+        return self.result.metrics.cycles
+
+
+def sweep_schedules(
+    session,
+    program: EinsumProgram,
+    binding: Dict[str, object],
+    schedules: Sequence[Schedule],
+    machine: Optional[Machine] = None,
+    limit: Optional[int] = None,
+    skip_errors: bool = False,
+) -> List[ScheduleRun]:
+    """Run ``program`` under each schedule via ``session`` (compile-cached).
+
+    ``limit`` caps the number of *successful* runs (the autotuner's
+    simulate-top-k budget: infeasible candidates don't consume budget);
+    ``skip_errors`` drops schedules that fail to compile or execute instead
+    of raising (an unfused fallback always exists in the candidate space).
+    """
+    runs: List[ScheduleRun] = []
+    for schedule in schedules:
+        if limit is not None and len(runs) >= limit:
+            break
+        try:
+            result = session.run(program, binding, schedule, machine)
+        except Exception:
+            if skip_errors:
+                continue
+            raise
+        runs.append(ScheduleRun(schedule=schedule, result=result))
+    return runs

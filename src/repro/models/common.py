@@ -24,6 +24,9 @@ from ..core.schedule.schedule import (
 )
 from ..frontend.api import ModelBuilder
 
+#: Shared functional-correctness tolerance vs the dense numpy reference.
+VERIFY_TOLERANCE = 1e-6
+
 
 @dataclass
 class ModelBundle:
@@ -66,6 +69,25 @@ class ModelBundle:
 
     def schedules(self, granularities: Sequence[str] = ("unfused", "partial", "full")) -> List[Schedule]:
         return [self.schedule(g) for g in granularities]
+
+    def max_abs_err(self, result) -> float:
+        """Max absolute error of a run's output vs the dense reference."""
+        out = result.tensors[self.output].to_dense()
+        return float(np.abs(out - self.reference).max())
+
+    def verify(self, result, tolerance: float = VERIFY_TOLERANCE) -> float:
+        """Assert a run matches the dense reference; returns the error.
+
+        The single source of the correctness check that the CLI, the sweep
+        subsystem, and the benchmark harness all report.
+        """
+        err = self.max_abs_err(result)
+        if not err < tolerance:
+            raise AssertionError(
+                f"{self.name}: max |err| {err:.3e} exceeds {tolerance:.0e} "
+                "vs dense reference"
+            )
+        return err
 
     def executable(self, granularity: str = "partial", session=None):
         """Compile this model at a granularity via the driver Session.

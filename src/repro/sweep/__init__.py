@@ -1,0 +1,69 @@
+"""Parallel experiment-sweep subsystem.
+
+The paper's evaluation is a sweep — many (model × dataset × schedule ×
+pipeline × machine) points simulated under comal.  This package makes that
+a first-class workload instead of shell loops:
+
+* :class:`SweepSpec` / :class:`SweepPoint` — declarative cartesian grids
+  and explicit point lists with stable, fingerprint-derived point IDs;
+* :class:`SweepRunner` / :func:`run_sweep` — multiprocessing fan-out with
+  per-worker :class:`~repro.driver.session.Session` compile caches and
+  per-worker model-bundle caches;
+* :class:`ResultStore` — append-only JSONL results with a spec header and
+  resume-from-partial-results;
+* :func:`summarize` / :func:`render_summary` / :func:`write_bench_json` —
+  best-per-model, speedup-vs-baseline, and utilization aggregation, as
+  text, JSON, or a ``BENCH_*.json`` perf artifact;
+* :func:`sweep_schedules` — the in-process primitive the autotuner,
+  ``Session.compare_schedules``, and the benchmark harness drive their
+  schedule loops through.
+
+CLI: ``fuseflow sweep run|resume|report|quick``.
+"""
+
+from .report import (
+    bench_payload,
+    render_summary,
+    summarize,
+    write_bench_json,
+    write_summary_json,
+)
+from .runner import (
+    ScheduleRun,
+    SweepOutcome,
+    SweepRunner,
+    run_point,
+    run_sweep,
+    sweep_schedules,
+)
+from .spec import (
+    SYNTHETIC,
+    SweepPoint,
+    SweepSpec,
+    SweepSpecError,
+    build_bundle,
+    compatible_datasets,
+)
+from .store import ResultStore, ResultStoreError
+
+__all__ = [
+    "SweepSpec",
+    "SweepPoint",
+    "SweepSpecError",
+    "SYNTHETIC",
+    "compatible_datasets",
+    "build_bundle",
+    "SweepRunner",
+    "SweepOutcome",
+    "run_sweep",
+    "run_point",
+    "sweep_schedules",
+    "ScheduleRun",
+    "ResultStore",
+    "ResultStoreError",
+    "summarize",
+    "render_summary",
+    "write_summary_json",
+    "bench_payload",
+    "write_bench_json",
+]

@@ -1,0 +1,212 @@
+"""Sweep aggregation: summaries, text tables, and machine-readable output.
+
+Turns a pile of per-point result records into the quantities the paper's
+figures report: best configuration per model, speedup of each schedule over
+the baseline schedule within its (model, dataset, machine, pipeline) group,
+and utilization tables per machine.  The same summary renders as fixed-width
+text (``fuseflow sweep report``), as a JSON document for downstream tooling,
+and as a ``BENCH_*.json`` perf artifact (one named series per point, cycles
+as the value) so CI can track the trajectory over time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..comal.metrics import format_table
+
+GroupKey = Tuple[str, str, str, str]
+
+
+def _group_key(record: Dict[str, object]) -> GroupKey:
+    point = record["point"]
+    return (
+        point["model"],
+        point["dataset"],
+        point["machine"],
+        "+".join(point["pipeline"]),
+    )
+
+
+def _ok(records: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [r for r in records if r.get("status") == "ok"]
+
+
+def summarize(
+    records: List[Dict[str, object]],
+    baseline_schedule: str = "unfused",
+    name: str = "sweep",
+) -> Dict[str, object]:
+    """Aggregate result records into the report/JSON summary structure."""
+    ok = _ok(records)
+    failed = [r for r in records if r.get("status") != "ok"]
+
+    # Best configuration (minimum cycles) per model.
+    best_per_model: Dict[str, Dict[str, object]] = {}
+    for record in ok:
+        model = record["point"]["model"]
+        cycles = record["metrics"]["cycles"]
+        best = best_per_model.get(model)
+        if best is None or cycles < best["cycles"]:
+            best_per_model[model] = {
+                "point_id": record["point_id"],
+                "label": record["label"],
+                "cycles": cycles,
+                "schedule": record["point"]["schedule"],
+                "dataset": record["point"]["dataset"],
+                "machine": record["point"]["machine"],
+            }
+
+    # Speedup of each schedule over the baseline schedule, grouped by
+    # (model, dataset, machine, pipeline).
+    groups: Dict[GroupKey, Dict[str, float]] = {}
+    for record in ok:
+        key = _group_key(record)
+        groups.setdefault(key, {})[record["point"]["schedule"]] = record[
+            "metrics"
+        ]["cycles"]
+    speedups: List[Dict[str, object]] = []
+    for key, cycles_by_schedule in sorted(groups.items()):
+        base = cycles_by_schedule.get(baseline_schedule)
+        entry: Dict[str, object] = {
+            "model": key[0],
+            "dataset": key[1],
+            "machine": key[2],
+            "pipeline": key[3],
+            "cycles": cycles_by_schedule,
+            "baseline": baseline_schedule,
+            "speedup": {
+                schedule: (base / cycles if base and cycles > 0 else None)
+                for schedule, cycles in cycles_by_schedule.items()
+            }
+            if base is not None
+            else {},
+        }
+        speedups.append(entry)
+
+    utilization = [
+        {
+            "label": record["label"],
+            "machine": record["point"]["machine"],
+            "compute_utilization": record["metrics"]["compute_utilization"],
+            "memory_utilization": record["metrics"]["memory_utilization"],
+            "operational_intensity": record["metrics"]["operational_intensity"],
+        }
+        for record in ok
+    ]
+
+    return {
+        "name": name,
+        "points_ok": len(ok),
+        "points_failed": len(failed),
+        "verified": all(r.get("verified", False) for r in ok) if ok else False,
+        "baseline_schedule": baseline_schedule,
+        "best_per_model": best_per_model,
+        "speedups": speedups,
+        "utilization": utilization,
+        "failures": [
+            {"label": r.get("label"), "error": r.get("error")} for r in failed
+        ],
+        "results": [
+            {
+                "point_id": r["point_id"],
+                "label": r["label"],
+                "point": r["point"],
+                "metrics": r["metrics"],
+                "max_abs_err": r["max_abs_err"],
+            }
+            for r in ok
+        ],
+    }
+
+
+def render_summary(summary: Dict[str, object]) -> str:
+    """Fixed-width text rendering of a sweep summary."""
+    lines: List[str] = [
+        f"sweep {summary['name']}: {summary['points_ok']} point(s) ok, "
+        f"{summary['points_failed']} failed, baseline "
+        f"{summary['baseline_schedule']!r}"
+    ]
+
+    if summary["results"]:
+        rows = [
+            [
+                r["label"],
+                f"{r['metrics']['cycles']:.0f}",
+                f"{r['metrics']['flops']}",
+                f"{r['metrics']['dram_bytes']}",
+                f"{r['max_abs_err']:.2e}",
+            ]
+            for r in summary["results"]
+        ]
+        lines += ["", format_table(rows, ["point", "cycles", "flops", "bytes", "max|err|"])]
+
+    if summary["speedups"]:
+        rows = []
+        for entry in summary["speedups"]:
+            for schedule, speedup in sorted(entry["speedup"].items()):
+                rows.append(
+                    [
+                        f"{entry['model']}/{entry['dataset']}/{entry['machine']}",
+                        schedule,
+                        f"{entry['cycles'][schedule]:.0f}",
+                        "-" if speedup is None else f"{speedup:.2f}x",
+                    ]
+                )
+        lines += ["", format_table(rows, ["group", "schedule", "cycles", "speedup"])]
+
+    if summary["best_per_model"]:
+        rows = [
+            [model, best["label"], f"{best['cycles']:.0f}"]
+            for model, best in sorted(summary["best_per_model"].items())
+        ]
+        lines += ["", format_table(rows, ["model", "best point", "cycles"])]
+
+    if summary["failures"]:
+        lines += [""] + [
+            f"FAILED {f['label']}: {f['error']}" for f in summary["failures"]
+        ]
+    return "\n".join(lines)
+
+
+def write_summary_json(summary: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def bench_payload(summary: Dict[str, object]) -> Dict[str, object]:
+    """The ``BENCH_*.json`` perf-tracking payload for a sweep summary.
+
+    Format: one named series per point with cycles as the tracked value
+    (lower is better), plus enough metadata for dashboards to group series.
+    """
+    return {
+        "benchmark": f"sweep_{summary['name']}",
+        "unit": "cycles",
+        "lower_is_better": True,
+        "baseline_schedule": summary["baseline_schedule"],
+        "results": [
+            {
+                "name": r["label"],
+                "value": r["metrics"]["cycles"],
+                "extra": {
+                    "flops": r["metrics"]["flops"],
+                    "dram_bytes": r["metrics"]["dram_bytes"],
+                    "tokens": r["metrics"]["tokens"],
+                    "point_id": r["point_id"],
+                },
+            }
+            for r in summary["results"]
+        ],
+    }
+
+
+def write_bench_json(summary: Dict[str, object], path: Optional[str] = None) -> str:
+    """Write the BENCH payload; default path is ``BENCH_sweep_<name>.json``."""
+    path = path or f"BENCH_sweep_{summary['name']}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench_payload(summary), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,308 @@
+"""Sweep execution: fan points out across workers with shared compile caches.
+
+Two layers:
+
+* :func:`sweep_schedules` — the in-process primitive (re-exported from
+  :mod:`repro.driver.sweeping`, where it lives below the autotuner,
+  ``Session.compare_schedules``, and the benchmark harness that all drive
+  their loops through it).
+* :class:`SweepRunner` — the process-parallel engine: expands a
+  :class:`~repro.sweep.spec.SweepSpec`, skips points already completed in
+  the :class:`~repro.sweep.store.ResultStore` (resume), and fans the rest
+  out over worker processes.  Each worker keeps module-level caches — one
+  ``Session`` per (machine, pipeline) and one model bundle per
+  (model, dataset, args) — so points sharing a model or a compile
+  fingerprint pay tracing/lowering once per worker, not once per point.
+
+Every point is functionally verified against its bundle's dense reference;
+the per-point record carries ``max_abs_err`` so a sweep doubles as a
+correctness regression over the whole grid.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..comal.machines import MACHINES
+from ..driver.pipeline import PassPipeline
+from ..driver.session import Session
+from ..driver.sweeping import ScheduleRun, sweep_schedules
+from .spec import SweepPoint, SweepSpec, build_bundle
+from .store import ResultStore, ResultStoreError
+
+__all__ = [
+    "ScheduleRun",
+    "sweep_schedules",
+    "SweepRunner",
+    "SweepOutcome",
+    "run_sweep",
+    "run_point",
+    "clear_worker_caches",
+    "default_workers",
+]
+
+# ----------------------------------------------------------------------
+# Worker-side execution (used both inline and in worker processes)
+# ----------------------------------------------------------------------
+
+# Per-process caches.  In a worker process these live for the pool's
+# lifetime, so every point handed to that worker shares compile work via
+# the Session cache and tracing work via the bundle cache.
+_SESSIONS: Dict[Tuple[str, Tuple[str, ...]], Session] = {}
+_BUNDLES: Dict[Tuple[str, str, Tuple[Tuple[str, object], ...]], object] = {}
+
+
+def _session_for(machine: str, pipeline: Tuple[str, ...]) -> Session:
+    key = (machine, tuple(pipeline))
+    session = _SESSIONS.get(key)
+    if session is None:
+        session = Session(
+            machine=MACHINES[machine],
+            pipeline=PassPipeline.from_names(pipeline),
+            cache_size=1024,
+        )
+        _SESSIONS[key] = session
+    return session
+
+
+def _bundle_for(point: SweepPoint):
+    key = (point.model, point.dataset, tuple(point.model_args))
+    bundle = _BUNDLES.get(key)
+    if bundle is None:
+        bundle = build_bundle(point)
+        _BUNDLES[key] = bundle
+    return bundle
+
+
+def run_point(point: SweepPoint) -> Dict[str, object]:
+    """Execute one sweep point; never raises — failures become records."""
+    from ..models.common import VERIFY_TOLERANCE
+
+    started = time.perf_counter()
+    base = {
+        "type": "result",
+        "point_id": point.point_id,
+        "label": point.label(),
+        "point": point.to_record(),
+        "worker_pid": os.getpid(),
+    }
+    try:
+        bundle = _bundle_for(point)
+        session = _session_for(point.machine, point.pipeline)
+        schedule = bundle.schedule(point.schedule)
+        schedule.par = dict(point.par)
+        before = session.cache_info()
+        executable = session.compile(bundle.program, schedule)
+        cache_hit = session.cache_info().hits > before.hits
+        result = executable(bundle.binding)
+        max_abs_err = bundle.max_abs_err(result)
+        verified = bool(max_abs_err < VERIFY_TOLERANCE)
+        metrics = result.metrics
+        machine = MACHINES[point.machine]
+        base.update(
+            {
+                # A point that executes but disagrees with the dense
+                # reference is a failure: nonzero exit codes, counted in
+                # points_failed, and retried by resume.
+                "status": "ok" if verified else "error",
+                "metrics": {
+                    "cycles": metrics.cycles,
+                    "flops": metrics.flops,
+                    "dram_bytes": metrics.dram_bytes,
+                    "tokens": metrics.tokens,
+                    "num_kernels": metrics.num_kernels,
+                    "operational_intensity": metrics.operational_intensity(),
+                    "compute_utilization": metrics.compute_utilization(machine),
+                    "memory_utilization": metrics.memory_utilization(machine),
+                },
+                "max_abs_err": max_abs_err,
+                "verified": verified,
+                "fingerprints": {
+                    "program": bundle.program.fingerprint(),
+                    "schedule": schedule.fingerprint(),
+                    "pipeline": session.pipeline.fingerprint(),
+                },
+                "compile_cache_hit": cache_hit,
+                "compile_seconds": executable.compiled.compile_seconds,
+                "elapsed_seconds": time.perf_counter() - started,
+            }
+        )
+        if not verified:
+            base["error"] = (
+                f"verification failed: max |err| {max_abs_err:.3e} >= "
+                f"{VERIFY_TOLERANCE:.0e} vs dense reference"
+            )
+    except Exception as exc:
+        base.update(
+            {
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=8),
+                "elapsed_seconds": time.perf_counter() - started,
+            }
+        )
+    return base
+
+
+def _run_point_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Pool entrypoint: points travel as JSON-safe records."""
+    return run_point(SweepPoint.from_record(record))
+
+
+def clear_worker_caches() -> None:
+    """Drop the per-process session/bundle caches (tests, memory pressure)."""
+    _SESSIONS.clear()
+    _BUNDLES.clear()
+
+
+# ----------------------------------------------------------------------
+# The parallel runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepOutcome:
+    """What one ``SweepRunner.run`` call did."""
+
+    total_points: int
+    ran: int
+    skipped: int
+    failed: int
+    elapsed_seconds: float
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"{self.total_points} point(s): {self.ran} ran "
+            f"({self.failed} failed), {self.skipped} resumed from store, "
+            f"{self.elapsed_seconds:.1f}s"
+        )
+
+
+def default_workers() -> int:
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+class SweepRunner:
+    """Fan a sweep spec's points out across worker processes."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: Optional[ResultStore] = None,
+        workers: Optional[int] = None,
+        resume: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.workers = default_workers() if workers is None else max(1, workers)
+        self.resume = resume
+
+    def run(
+        self, progress: Optional[Callable[[Dict[str, object]], None]] = None
+    ) -> SweepOutcome:
+        """Execute all pending points; returns the aggregate outcome.
+
+        With ``resume=True`` every point whose latest store record succeeded
+        is skipped.  Each completed record is appended to the store (and
+        handed to ``progress``) as soon as it lands, so interrupting the
+        sweep loses at most the in-flight points.
+        """
+        started = time.perf_counter()
+        points = self.spec.points()
+        done: set = set()
+        if self.resume and self.store is not None:
+            done = self.store.completed_ids()
+        todo = [p for p in points if p.point_id not in done]
+
+        records: List[Dict[str, object]] = []
+
+        def _collect(record: Dict[str, object]) -> None:
+            records.append(record)
+            if self.store is not None:
+                self.store.append(record)
+            if progress is not None:
+                progress(record)
+
+        if self.workers == 1 or len(todo) <= 1:
+            for point in todo:
+                _collect(run_point(point))
+        else:
+            self._run_parallel(todo, _collect)
+
+        failed = sum(1 for r in records if r.get("status") != "ok")
+        return SweepOutcome(
+            total_points=len(points),
+            ran=len(records),
+            skipped=len(points) - len(todo),
+            failed=failed,
+            elapsed_seconds=time.perf_counter() - started,
+            records=records,
+        )
+
+    def _run_parallel(
+        self,
+        todo: List[SweepPoint],
+        collect: Callable[[Dict[str, object]], None],
+    ) -> None:
+        import concurrent.futures
+        import multiprocessing
+        import sys
+
+        if sys.platform.startswith("linux"):
+            # Workers inherit the parent's imported modules for free.
+            # Restricted to Linux: forking after numpy/Accelerate or ObjC
+            # frameworks initialize is unsafe on macOS (why CPython's own
+            # default there is spawn).
+            ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-Linux platforms
+            ctx = multiprocessing.get_context()
+        workers = min(self.workers, len(todo))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx
+        ) as pool:
+            futures = [
+                pool.submit(_run_point_record, point.to_record())
+                for point in todo
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                collect(future.result())
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store_path: Optional[str] = None,
+    workers: Optional[int] = None,
+    resume: bool = False,
+    force: bool = False,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> SweepOutcome:
+    """One-call convenience: open/create the store and run the sweep."""
+    store: Optional[ResultStore] = None
+    if resume and store_path is None:
+        raise ResultStoreError(
+            "resume=True needs store_path (there is nothing to resume from)"
+        )
+    if store_path is not None:
+        if resume:
+            store = ResultStore.open(store_path)
+            stored_spec = store.spec()
+            if stored_spec is None:
+                raise ResultStoreError(
+                    f"results file {store_path!r} has no spec header; cannot "
+                    "resume (was it generated by `sweep run`?)"
+                )
+            spec = stored_spec
+        else:
+            store = ResultStore.create(store_path, spec, force=force)
+    try:
+        return SweepRunner(
+            spec, store=store, workers=workers, resume=resume
+        ).run(progress)
+    finally:
+        if store is not None:
+            store.close()

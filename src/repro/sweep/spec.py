@@ -1,0 +1,377 @@
+"""Declarative sweep specifications: grids and points over the design space.
+
+The paper's evaluation is a sweep — many (model × dataset × schedule ×
+pipeline × machine) points simulated under comal to produce each figure.  A
+:class:`SweepSpec` captures such an experiment declaratively: cartesian
+grids plus explicit extra points, each resolving to a :class:`SweepPoint`
+with a stable content-derived identifier.  Point IDs reuse the canonical
+fingerprint idiom of the driver (sha256 over a sorted textual rendering of
+every field the experiment reads), so a results file written today still
+matches the same grid tomorrow and ``sweep resume`` can skip completed
+points by ID alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..comal.machines import MACHINES
+from ..data.registry import GPT3_DATASET, GRAPH_DATASETS, SAE_DATASETS
+from ..driver.pipeline import DEFAULT_PASS_ORDER
+from ..models.common import ModelBundle
+
+#: Synthetic stand-in "dataset" accepted by every model.
+SYNTHETIC = "synthetic"
+
+MODEL_NAMES: Tuple[str, ...] = ("gcn", "graphsage", "sae", "gpt3")
+SCHEDULE_NAMES: Tuple[str, ...] = ("unfused", "partial", "full", "cs")
+
+
+class SweepSpecError(ValueError):
+    """Raised for malformed sweep specifications."""
+
+
+def compatible_datasets(model: str) -> List[str]:
+    """Dataset names (Table 2 registry + synthetic) valid for ``model``."""
+    if model in ("gcn", "graphsage"):
+        return [*GRAPH_DATASETS, SYNTHETIC]
+    if model == "sae":
+        return [*SAE_DATASETS, SYNTHETIC]
+    if model == "gpt3":
+        return [GPT3_DATASET.name, SYNTHETIC]
+    raise SweepSpecError(f"unknown model {model!r}")
+
+
+def _freeze_args(args: Optional[Dict[str, object]]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted((args or {}).items()))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One experiment: a model on a dataset under a schedule, pipeline, machine."""
+
+    model: str
+    dataset: str = SYNTHETIC
+    schedule: str = "partial"
+    machine: str = "rda"
+    pipeline: Tuple[str, ...] = DEFAULT_PASS_ORDER
+    # Keyword overrides for the model builder, sorted for hashability.
+    model_args: Tuple[Tuple[str, object], ...] = ()
+    # Index-variable parallelization factors applied to the schedule.
+    par: Tuple[Tuple[str, int], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        model: str,
+        dataset: str = SYNTHETIC,
+        schedule: str = "partial",
+        machine: str = "rda",
+        pipeline: Sequence[str] = DEFAULT_PASS_ORDER,
+        model_args: Optional[Dict[str, object]] = None,
+        par: Optional[Dict[str, int]] = None,
+    ) -> "SweepPoint":
+        """Build a point from plain dict/list arguments."""
+        return cls(
+            model=model,
+            dataset=dataset,
+            schedule=schedule,
+            machine=machine,
+            pipeline=tuple(pipeline),
+            model_args=_freeze_args(model_args),
+            par=_freeze_args(par),  # type: ignore[arg-type]
+        )
+
+    def validate(self) -> None:
+        if self.model not in MODEL_NAMES:
+            raise SweepSpecError(
+                f"unknown model {self.model!r}; expected one of {MODEL_NAMES}"
+            )
+        if self.dataset not in compatible_datasets(self.model):
+            raise SweepSpecError(
+                f"dataset {self.dataset!r} is not valid for model "
+                f"{self.model!r}; valid: {compatible_datasets(self.model)}"
+            )
+        if self.schedule not in SCHEDULE_NAMES:
+            raise SweepSpecError(
+                f"unknown schedule {self.schedule!r}; expected one of "
+                f"{SCHEDULE_NAMES}"
+            )
+        if self.machine not in MACHINES:
+            raise SweepSpecError(
+                f"unknown machine {self.machine!r}; expected one of "
+                f"{sorted(MACHINES)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash over every field the experiment reads.
+
+        Same idiom as ``EinsumProgram.fingerprint`` / ``Schedule.fingerprint``
+        (a sha256 over a canonical textual rendering), and deliberately
+        *not* dependent on object identity or field insertion order — the
+        ResultStore keys resumability on this.
+        """
+        # Hash only the builder arguments this model actually reads, so a
+        # spec broadcasting e.g. {'nodes', 'density'} across models gives
+        # the same ID as one listing only the relevant keys.
+        args = _filtered_args(self.model, dict(self.model_args))
+        parts = [
+            f"model {self.model}",
+            f"dataset {self.dataset}",
+            f"schedule {self.schedule}",
+            f"machine {self.machine}",
+            f"pipeline {list(self.pipeline)}",
+            f"model_args {sorted(args.items())}",
+            f"par {sorted(self.par)}",
+        ]
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+    @property
+    def point_id(self) -> str:
+        """Short stable identifier used in result files and reports."""
+        return self.fingerprint()[:16]
+
+    def label(self) -> str:
+        """Human-readable point name for tables and logs.
+
+        Covers everything the point ID hashes (args the model reads,
+        pipeline variants, parallelization), so two points with different
+        IDs never share a label — BENCH series names key on this.
+        """
+        bits = [self.model, self.dataset, self.schedule, self.machine]
+        args = _filtered_args(self.model, dict(self.model_args))
+        if args:
+            bits.append(",".join(f"{k}={v}" for k, v in sorted(args.items())))
+        if tuple(self.pipeline) != DEFAULT_PASS_ORDER:
+            bits.append("+".join(self.pipeline))
+        if self.par:
+            bits.append(",".join(f"{k}={v}" for k, v in self.par))
+        return "/".join(bits)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "schedule": self.schedule,
+            "machine": self.machine,
+            "pipeline": list(self.pipeline),
+            "model_args": dict(self.model_args),
+            "par": dict(self.par),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "SweepPoint":
+        return cls.make(
+            model=record["model"],
+            dataset=record.get("dataset", SYNTHETIC),
+            schedule=record.get("schedule", "partial"),
+            machine=record.get("machine", "rda"),
+            pipeline=record.get("pipeline", DEFAULT_PASS_ORDER),
+            model_args=record.get("model_args") or {},
+            par=record.get("par") or {},
+        )
+
+
+#: Builder keyword arguments each model accepts (others are dropped, so one
+#: spec-level ``--nodes 24`` can broadcast across models with different
+#: signatures without exploding).
+_MODEL_ARG_NAMES: Dict[str, Tuple[str, ...]] = {
+    "gcn": ("nodes", "features", "density", "pattern", "hidden", "classes", "seed"),
+    "graphsage": ("nodes", "features", "density", "pattern", "hidden", "classes", "seed"),
+    "sae": ("nodes", "hidden", "weight_density", "seed"),
+    "gpt3": ("seq_len", "d_model", "block", "n_layers", "ffn_mult", "seed"),
+}
+
+
+def _filtered_args(model: str, args: Dict[str, object]) -> Dict[str, object]:
+    names = _MODEL_ARG_NAMES.get(model)
+    if names is None:
+        # Unknown model: keep everything, so fingerprint()/label() stay
+        # total functions and validate() (inside run_point's try) reports
+        # the bad model as an error record instead of a raised KeyError.
+        return dict(args)
+    return {k: v for k, v in args.items() if k in names}
+
+
+def build_bundle(point: SweepPoint) -> ModelBundle:
+    """Materialize the model bundle a sweep point describes.
+
+    Deterministic: dataset seeds come from the Table 2 registry and
+    synthetic builders take an explicit seed (default 0), so the same point
+    always yields the same program, binding, and reference.
+    """
+    import numpy as np
+
+    from ..data.registry import graph_dataset, sae_dataset
+    from ..models.gcn import build_gcn, gcn_on_synthetic
+    from ..models.gpt3 import build_gpt3
+    from ..models.graphsage import build_graphsage, graphsage_on_synthetic
+    from ..models.sae import build_sae
+
+    point.validate()
+    args = _filtered_args(point.model, dict(point.model_args))
+    if point.model in ("gcn", "graphsage"):
+        if point.dataset == SYNTHETIC:
+            builder = gcn_on_synthetic if point.model == "gcn" else graphsage_on_synthetic
+            return builder(**args)
+        entry, adj, feats = graph_dataset(point.dataset)
+        layer_args = {
+            k: v for k, v in args.items() if k in ("hidden", "classes")
+        }
+        builder = build_gcn if point.model == "gcn" else build_graphsage
+        return builder(adj, feats, seed=entry.seed, **layer_args)
+    if point.model == "sae":
+        if point.dataset == SYNTHETIC:
+            dim = int(args.pop("nodes", 16))
+            seed = int(args.pop("seed", 0))
+            rng = np.random.default_rng(seed)
+            return build_sae(rng.random((5, dim)), seed=seed, **args)
+        entry, x = sae_dataset(point.dataset)
+        layer_args = {k: v for k, v in args.items() if k in ("hidden", "weight_density")}
+        return build_sae(x, seed=entry.seed, **layer_args)
+    # gpt3
+    if point.dataset != SYNTHETIC:
+        entry = GPT3_DATASET
+        args.setdefault("seq_len", entry.sim_nodes)
+        args.setdefault("d_model", entry.sim_features)
+        args.setdefault("seed", entry.seed)
+    return build_gpt3(**args)
+
+
+@dataclass
+class SweepSpec:
+    """A declarative experiment sweep: cartesian grid + explicit points."""
+
+    name: str = "sweep"
+    models: List[str] = field(default_factory=lambda: ["gcn", "sae"])
+    # None means "synthetic only"; dataset names are filtered per model.
+    datasets: Optional[List[str]] = None
+    schedules: List[str] = field(
+        default_factory=lambda: ["unfused", "partial", "full"]
+    )
+    machines: List[str] = field(default_factory=lambda: ["rda", "fpga"])
+    # Pass-name lists; None means the default pipeline only.
+    pipelines: Optional[List[List[str]]] = None
+    # Builder keyword overrides broadcast to every grid point (filtered to
+    # each model's accepted arguments).
+    model_args: Dict[str, object] = field(default_factory=dict)
+    # Parallelization factors broadcast to every grid point.
+    par: Dict[str, int] = field(default_factory=dict)
+    # Explicit extra points appended after the grid.
+    extra_points: List[SweepPoint] = field(default_factory=list)
+    # The schedule speedups are reported against.
+    baseline_schedule: str = "unfused"
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def points(self) -> List[SweepPoint]:
+        """Expand the grid (+ extras) into validated, deduplicated points.
+
+        Model-incompatible (model, dataset) pairs are skipped rather than
+        rejected, so one grid can mix graph and SAE datasets.
+        """
+        points: List[SweepPoint] = []
+        seen: set = set()
+        matched_datasets: set = set()
+        pipelines = self.pipelines or [list(DEFAULT_PASS_ORDER)]
+        for model in self.models:
+            datasets = self.datasets if self.datasets is not None else [SYNTHETIC]
+            valid = set(compatible_datasets(model))
+            for dataset in datasets:
+                if dataset not in valid:
+                    continue
+                matched_datasets.add(dataset)
+                for schedule in self.schedules:
+                    for machine in self.machines:
+                        for pipeline in pipelines:
+                            point = SweepPoint.make(
+                                model=model,
+                                dataset=dataset,
+                                schedule=schedule,
+                                machine=machine,
+                                pipeline=pipeline,
+                                model_args=self.model_args,
+                                par=self.par,
+                            )
+                            point.validate()
+                            if point.point_id not in seen:
+                                seen.add(point.point_id)
+                                points.append(point)
+        if self.datasets is not None:
+            # A dataset no listed model can use is a typo or a missing
+            # model, not cross-model mixing; silently shrinking the grid
+            # would make an incomplete sweep look complete.
+            unmatched = [d for d in self.datasets if d not in matched_datasets]
+            if unmatched:
+                raise SweepSpecError(
+                    f"dataset(s) {unmatched} match none of the models "
+                    f"{self.models}; known datasets per model: "
+                    + ", ".join(
+                        f"{m}: {compatible_datasets(m)}" for m in self.models
+                    )
+                )
+        for point in self.extra_points:
+            point.validate()
+            if point.point_id not in seen:
+                seen.add(point.point_id)
+                points.append(point)
+        if not points:
+            raise SweepSpecError(
+                "sweep spec expands to zero points (check model/dataset "
+                "compatibility)"
+            )
+        return points
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "models": list(self.models),
+            "datasets": None if self.datasets is None else list(self.datasets),
+            "schedules": list(self.schedules),
+            "machines": list(self.machines),
+            "pipelines": self.pipelines,
+            "model_args": dict(self.model_args),
+            "par": dict(self.par),
+            "extra_points": [p.to_record() for p in self.extra_points],
+            "baseline_schedule": self.baseline_schedule,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "SweepSpec":
+        return cls(
+            name=record.get("name", "sweep"),
+            models=list(record.get("models", ["gcn", "sae"])),
+            datasets=record.get("datasets"),
+            schedules=list(record.get("schedules", ["unfused", "partial", "full"])),
+            machines=list(record.get("machines", ["rda", "fpga"])),
+            pipelines=record.get("pipelines"),
+            model_args=dict(record.get("model_args") or {}),
+            par={k: int(v) for k, v in (record.get("par") or {}).items()},
+            extra_points=[
+                SweepPoint.from_record(p) for p in record.get("extra_points", [])
+            ],
+            baseline_schedule=record.get("baseline_schedule", "unfused"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_record(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SweepSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_record(json.load(fh))

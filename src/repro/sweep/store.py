@@ -1,0 +1,164 @@
+"""JSONL-backed result store with resume-from-partial-results.
+
+A sweep's results file is append-only JSON-lines: the first line is a
+``spec`` header recording the :class:`~repro.sweep.spec.SweepSpec` that
+generated the file, every following line is one point's outcome.  Append
+is flushed per record, so a killed sweep leaves a valid prefix and
+``sweep resume`` picks up exactly where it died: completed point IDs are
+read back and skipped.  Re-running a point simply appends a newer record;
+readers take the last record per point ID.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Set
+
+from .spec import SweepSpec
+
+STORE_VERSION = 1
+
+
+class ResultStoreError(RuntimeError):
+    """Raised for malformed or mismatched result files."""
+
+
+class ResultStore:
+    """Append-only JSONL store for sweep point results."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Creation / opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str, spec: SweepSpec, force: bool = False) -> "ResultStore":
+        """Start a fresh results file with a spec header line."""
+        if os.path.exists(path) and not force:
+            raise ResultStoreError(
+                f"results file {path!r} already exists; use resume to "
+                "continue it or pass force/--force to overwrite"
+            )
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        store = cls(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "spec",
+                        "version": STORE_VERSION,
+                        "spec": spec.to_record(),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        return store
+
+    @classmethod
+    def open(cls, path: str) -> "ResultStore":
+        if not os.path.exists(path):
+            raise ResultStoreError(f"no results file at {path!r}")
+        return cls(path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _lines(self) -> Iterator[Dict[str, object]]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            raw = fh.readlines()
+        last_lineno = max(
+            (i for i, line in enumerate(raw, start=1) if line.strip()), default=0
+        )
+        for lineno, line in enumerate(raw, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == last_lineno and lineno > 1:
+                    # A crash mid-append leaves a partially-written final
+                    # line; resume must recover exactly these files, so
+                    # treat the torn tail as "that point never finished".
+                    # A corrupt *first* line is not a torn tail — the file
+                    # was never a results file.
+                    return
+                raise ResultStoreError(
+                    f"{self.path}:{lineno}: corrupt record ({exc})"
+                ) from exc
+
+    def spec(self) -> Optional[SweepSpec]:
+        """The spec recorded in the header line, if any."""
+        for record in self._lines():
+            if record.get("type") == "spec":
+                return SweepSpec.from_record(record["spec"])
+            return None
+        return None
+
+    def records(self) -> List[Dict[str, object]]:
+        """All result records, last-write-wins per point ID, stable order."""
+        by_id: Dict[str, Dict[str, object]] = {}
+        order: List[str] = []
+        for record in self._lines():
+            if record.get("type") != "result":
+                continue
+            pid = record.get("point_id")
+            if pid not in by_id:
+                order.append(pid)
+            by_id[pid] = record
+        return [by_id[pid] for pid in order]
+
+    def completed_ids(self) -> Set[str]:
+        """IDs of points whose latest record succeeded (resume skips these)."""
+        return {
+            r["point_id"] for r in self.records() if r.get("status") == "ok"
+        }
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one result record, flushed so crashes keep a valid prefix."""
+        record = dict(record)
+        record.setdefault("type", "result")
+        if self._handle is None:
+            self._discard_torn_tail()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def _discard_torn_tail(self) -> None:
+        """Drop a partially-written (crash-torn) final line before writing.
+
+        Appending straight after a torn tail would merge the fragment with
+        the new record, destroying both; truncating back to the last
+        complete line loses only the write that already failed.
+        """
+        if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+            return
+        with open(self.path, "r+b") as fh:
+            data = fh.read()
+            if data.endswith(b"\n"):
+                return
+            fh.truncate(data.rfind(b"\n") + 1)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultStore {self.path!r}>"

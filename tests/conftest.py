@@ -1,0 +1,14 @@
+"""Shared pytest configuration for the tier-1 suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden simulator traces under tests/golden/ from "
+            "the current engine instead of comparing against them (use after "
+            "an intentional timing-model change, then review the diff)"
+        ),
+    )

@@ -149,8 +149,8 @@ class TestCLI:
         assert code == 0
         assert "cycles" in out and "max |err|" in out
 
-    def test_sweep(self, capsys):
-        code = cli_main(["sweep", "--model", "sae", "--nodes", "16"])
+    def test_sweep_quick(self, capsys):
+        code = cli_main(["sweep", "quick", "--model", "sae", "--nodes", "16"])
         out = capsys.readouterr().out
         assert code == 0
         assert "unfused" in out and "full" in out

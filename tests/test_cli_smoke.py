@@ -1,0 +1,201 @@
+"""End-to-end smoke tests covering every ``fuseflow`` subcommand.
+
+Each test drives :func:`repro.cli.main` exactly as a shell invocation
+would (argv in, exit code out, stdout checked), so argument wiring,
+defaults, and output formatting are all exercised — including the sweep
+verbs and ``compile --diagnostics``.  One test additionally goes through a
+real subprocess to cover the ``python -m repro.cli`` entry path.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+
+SMALL = ["--nodes", "24", "--density", "0.1"]
+
+
+class TestRun:
+    def test_run_each_model(self, capsys):
+        for model, extra in (
+            ("gcn", SMALL),
+            ("graphsage", SMALL),
+            ("sae", ["--nodes", "16"]),
+            ("gpt3", ["--seq-len", "16", "--d-model", "8", "--block", "4"]),
+        ):
+            code = cli_main(["run", "--model", model, "--fusion", "partial", *extra])
+            out = capsys.readouterr().out
+            assert code == 0, f"{model}: {out}"
+            assert "cycles" in out and "max |err|" in out
+
+    def test_run_with_machine_and_par(self, capsys):
+        code = cli_main(
+            ["run", "--model", "gcn", *SMALL, "--machine", "fpga",
+             "--fusion", "partial", "--par", "i=2"]
+        )
+        assert code == 0
+
+    def test_bad_par_spec_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--model", "gcn", *SMALL, "--par", "nonsense"])
+
+
+class TestSweepVerbs:
+    def test_run_resume_report_cycle(self, capsys, tmp_path):
+        out_path = str(tmp_path / "sweep.jsonl")
+
+        code = cli_main(
+            ["sweep", "run", *SMALL, "--workers", "2", "--out", out_path,
+             "--name", "smoke"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12 point(s): 12 ran" in out
+        assert "speedup" in out and "best point" in out
+
+        code = cli_main(["sweep", "resume", "--out", out_path, "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 ran" in out and "12 resumed from store" in out
+
+        json_path = str(tmp_path / "report.json")
+        bench_path = str(tmp_path / "BENCH_sweep_smoke.json")
+        code = cli_main(
+            ["sweep", "report", "--out", out_path, "--json", json_path,
+             "--bench-json", bench_path]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best point" in out
+        with open(json_path) as fh:
+            summary = json.load(fh)
+        assert summary["points_ok"] == 12 and summary["verified"] is True
+        with open(bench_path) as fh:
+            assert len(json.load(fh)["results"]) == 12
+
+    def test_run_refuses_existing_out(self, capsys, tmp_path):
+        out_path = str(tmp_path / "sweep.jsonl")
+        assert cli_main(
+            ["sweep", "run", *SMALL, "--models", "sae", "--machines", "rda",
+             "--workers", "1", "--out", out_path, "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="already exists"):
+            cli_main(
+                ["sweep", "run", *SMALL, "--models", "sae", "--machines",
+                 "rda", "--workers", "1", "--out", out_path, "--quiet"]
+            )
+        # --force overwrites.
+        assert cli_main(
+            ["sweep", "run", *SMALL, "--models", "sae", "--machines", "rda",
+             "--workers", "1", "--out", out_path, "--quiet", "--force"]
+        ) == 0
+
+    def test_report_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no results file"):
+            cli_main(["sweep", "report", "--out", str(tmp_path / "nope.jsonl")])
+
+    def test_report_headerless_file_exits(self, tmp_path):
+        path = str(tmp_path / "headerless.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"type": "result", "point_id": "a", "status": "ok"}\n')
+        with pytest.raises(SystemExit, match="no spec header"):
+            cli_main(["sweep", "report", "--out", path])
+
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec(
+            name="fromfile", models=["sae"], machines=["rda"],
+            schedules=["unfused", "full"], model_args={"nodes": 16},
+        )
+        spec_path = str(tmp_path / "spec.json")
+        spec.save(spec_path)
+        code = cli_main(
+            ["sweep", "run", "--spec", spec_path, "--workers", "1", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 point(s): 2 ran" in out
+        assert "sweep fromfile" in out
+
+    def test_failed_points_set_exit_code(self, capsys):
+        # SAE has no C+S grouping: every cs point fails, exit code is 1.
+        code = cli_main(
+            ["sweep", "run", "--models", "sae", "--machines", "rda",
+             "--schedules", "cs", "--nodes", "16", "--workers", "1", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_quick(self, capsys):
+        code = cli_main(["sweep", "quick", "--model", "sae", "--nodes", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unfused" in out and "full" in out
+
+
+class TestEstimateAutotuneCompile:
+    def test_estimate(self, capsys):
+        code = cli_main(["estimate", "--model", "gcn", *SMALL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "est cycles" in out
+
+    def test_autotune_with_verify(self, capsys):
+        code = cli_main(
+            ["autotune", "--model", "sae", "--nodes", "16",
+             "--simulate-top", "2", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "winner" in out and "max |err|" in out
+
+    def test_compile_diagnostics(self, capsys):
+        code = cli_main(
+            ["compile", "--model", "gcn", *SMALL, "--fusion", "partial",
+             "--diagnostics"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compiled" in out
+        # Structured diagnostics: per-pass timings from the pipeline.
+        assert "fuse-regions" in out and "lower-region" in out
+
+    def test_compile_show_graph_and_table(self, capsys):
+        code = cli_main(
+            ["compile", "--model", "sae", "--nodes", "16", "--fusion", "full",
+             "--show-graph", "--show-table"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fusion table" in out
+
+
+class TestEntryPoint:
+    def test_module_subprocess(self, tmp_path):
+        """`python -m repro.cli` works as a real process (console entry)."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "sweep", "run", "--quiet",
+             "--models", "sae", "--machines", "rda", "--nodes", "16",
+             "--workers", "2", "--out", str(tmp_path / "s.jsonl")],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "3 ran" in proc.stdout
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])
+
+    def test_unknown_model_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--model", "alexnet"])

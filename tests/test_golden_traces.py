@@ -1,0 +1,120 @@
+"""Golden-trace regression tests for the comal simulation engine.
+
+Each model class is simulated at a small canonical configuration under
+every fusion granularity on the default RDA machine, and the resulting
+``SimResult``-level metrics (cycles, flops, dram_bytes, tokens, per-kernel
+cycles) are compared against committed snapshots in ``tests/golden/``.
+Any drift — a timing-model tweak, a lowering change that adds a node, a
+memory-model fix — fails loudly here instead of silently shifting every
+figure the benchmarks reproduce.
+
+Intentional changes: regenerate with
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --regen-golden
+
+then review the JSON diff like any other code change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.comal.machines import RDA_MACHINE
+from repro.driver import Session
+from repro.sweep import SweepPoint, build_bundle
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: Canonical configurations: small enough to simulate in well under a
+#: second, large enough to exercise every primitive class of the model.
+GOLDEN_POINTS = {
+    "gcn": SweepPoint.make(
+        "gcn", model_args={"nodes": 30, "density": 0.1, "seed": 0}
+    ),
+    "graphsage": SweepPoint.make(
+        "graphsage", model_args={"nodes": 30, "density": 0.1, "seed": 0}
+    ),
+    "sae": SweepPoint.make("sae", model_args={"nodes": 16, "seed": 0}),
+    "gpt3": SweepPoint.make(
+        "gpt3",
+        model_args={"seq_len": 16, "d_model": 8, "block": 4, "n_layers": 1, "seed": 0},
+    ),
+}
+
+GRANULARITIES = ("unfused", "partial", "full")
+
+
+def _trace(model: str) -> dict:
+    """Simulate the model's canonical config at every granularity."""
+    point = GOLDEN_POINTS[model]
+    bundle = build_bundle(point)
+    session = Session(machine=RDA_MACHINE)
+    trace = {
+        "model": model,
+        "config": dict(point.model_args),
+        "machine": RDA_MACHINE.name,
+        "granularities": {},
+    }
+    for granularity in GRANULARITIES:
+        result = session.run(
+            bundle.program, bundle.binding, bundle.schedule(granularity)
+        )
+        m = result.metrics
+        trace["granularities"][granularity] = {
+            "cycles": m.cycles,
+            "flops": m.flops,
+            "dram_bytes": m.dram_bytes,
+            "tokens": m.tokens,
+            "kernel_cycles": list(m.kernel_cycles),
+        }
+    return trace
+
+
+def _golden_path(model: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{model}.json")
+
+
+@pytest.mark.parametrize("model", sorted(GOLDEN_POINTS))
+def test_golden_trace(model, request):
+    trace = _trace(model)
+    path = _golden_path(model)
+
+    if request.config.getoption("--regen-golden"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        pytest.skip(f"regenerated {path}")
+
+    assert os.path.exists(path), (
+        f"missing golden trace {path}; generate it with --regen-golden"
+    )
+    with open(path, "r", encoding="utf-8") as fh:
+        golden = json.load(fh)
+
+    assert trace["config"] == golden["config"], "canonical config changed"
+    for granularity in GRANULARITIES:
+        got = trace["granularities"][granularity]
+        want = golden["granularities"][granularity]
+        for key in ("flops", "dram_bytes", "tokens"):
+            assert got[key] == want[key], (
+                f"{model}/{granularity}: {key} drifted "
+                f"{want[key]} -> {got[key]} (regen with --regen-golden if "
+                "intentional)"
+            )
+        assert got["cycles"] == pytest.approx(want["cycles"], rel=1e-9), (
+            f"{model}/{granularity}: cycles drifted "
+            f"{want['cycles']} -> {got['cycles']}"
+        )
+        assert got["kernel_cycles"] == pytest.approx(
+            want["kernel_cycles"], rel=1e-9
+        ), f"{model}/{granularity}: per-kernel cycles drifted"
+
+
+def test_golden_traces_cover_every_model():
+    """The snapshot set tracks the model zoo."""
+    from repro.models import __all__ as model_exports
+
+    builders = {n for n in model_exports if n.startswith("build_")}
+    assert {f"build_{m}" for m in GOLDEN_POINTS} == builders

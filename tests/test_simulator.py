@@ -155,3 +155,30 @@ class TestScratchpad:
             graph, binding, machine=RDA_MACHINE.scaled(scratchpad_bytes=0)
         )
         assert uncached.dram_bytes >= cached.dram_bytes
+
+
+class TestNegativeCycleGuards:
+    """Utilization must not mask simulator bugs as 0% (negative cycles)."""
+
+    def test_sim_result_rejects_negative_cycles(self):
+        from repro.comal.engine import SimResult
+
+        broken = SimResult(cycles=-5.0, flops=10, dram_bytes=10, tokens=10)
+        with pytest.raises(ValueError, match="negative cycle count"):
+            broken.compute_utilization(RDA_MACHINE)
+        with pytest.raises(ValueError, match="negative cycle count"):
+            broken.memory_utilization(RDA_MACHINE)
+
+    def test_sim_result_zero_cycles_is_idle(self):
+        from repro.comal.engine import SimResult
+
+        idle = SimResult(cycles=0.0, flops=0, dram_bytes=0, tokens=0)
+        assert idle.compute_utilization(RDA_MACHINE) == 0.0
+        assert idle.memory_utilization(RDA_MACHINE) == 0.0
+
+    def test_program_metrics_rejects_negative_cycles(self):
+        broken = ProgramMetrics(cycles=-1.0, flops=10, dram_bytes=10)
+        with pytest.raises(ValueError, match="negative cycle count"):
+            broken.compute_utilization(RDA_MACHINE)
+        with pytest.raises(ValueError, match="negative cycle count"):
+            broken.memory_utilization(RDA_MACHINE)
