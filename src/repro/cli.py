@@ -12,6 +12,7 @@ Examples::
 
     fuseflow run --model gcn --fusion partial
     fuseflow run --model gpt3 --fusion full --block 8 --par x1=4
+    fuseflow simulate --model gcn --fusion partial --profile --top 8
     fuseflow sweep quick --model graphsage
     fuseflow sweep run --models gcn,sae --machines rda,fpga --out sweep.jsonl
     fuseflow sweep resume --out sweep.jsonl
@@ -111,6 +112,55 @@ def cmd_run(args) -> int:
     print(f"op intensity: {m.operational_intensity():.3f} flops/byte")
     print(f"max |err|  : {err:.3e} (vs dense reference)")
     return 0 if err < VERIFY_TOLERANCE else 1
+
+
+def cmd_simulate(args) -> int:
+    """Simulate one schedule; ``--profile`` prints the busiest nodes."""
+    bundle = _build_model(args)
+    schedule = bundle.schedule(args.fusion)
+    schedule.par = _parse_par(args.par)
+    session = Session(
+        machine=MACHINES[args.machine],
+        columnar=False if args.legacy_streams else None,
+        debug_streams=True if args.debug_streams else None,
+        sim_cache=False if args.no_sim_cache else None,
+    )
+    exe = session.compile(bundle.program, schedule)
+    result = exe(bundle.binding)
+    m = result.metrics
+    print(f"model      : {bundle.name}")
+    print(f"schedule   : {schedule.name} ({len(schedule.regions)} regions)")
+    print(f"machine    : {args.machine}")
+    print(f"cycles     : {m.cycles:.0f}")
+    print(f"flops      : {m.flops}")
+    print(f"dram bytes : {m.dram_bytes}")
+    print(f"tokens     : {m.tokens}")
+    if args.profile:
+        rows = []
+        for region, sim in zip(exe.regions, result.region_results):
+            graph = region.graph
+            for node_id, busy in sim.node_busy.items():
+                node = graph.nodes[node_id]
+                rows.append(
+                    (
+                        busy,
+                        sim.node_finish.get(node_id, 0.0),
+                        graph.name,
+                        node_id,
+                        node.prim.describe(),
+                    )
+                )
+        rows.sort(key=lambda r: r[0], reverse=True)
+        total = max(m.cycles, 1e-9)
+        print()
+        print(f"top {args.top} busiest nodes (of {len(rows)}):")
+        print(f"{'busy':>10s} {'finish':>10s} {'util%':>6s}  node")
+        for busy, finish, gname, node_id, desc in rows[: args.top]:
+            print(
+                f"{busy:10.1f} {finish:10.1f} {100 * busy / total:6.1f}  "
+                f"{gname}/{node_id} ({desc})"
+            )
+    return 0
 
 
 def cmd_sweep_quick(args) -> int:
@@ -316,6 +366,23 @@ def main(argv: List[str] | None = None) -> int:
     p_run.add_argument("--fusion", default="partial", choices=["unfused", "partial", "full", "cs"])
     p_run.add_argument("--par", action="append", help="index=factor parallelization")
     p_run.set_defaults(fn=cmd_run)
+
+    p_sim = sub.add_parser(
+        "simulate", help="simulate one schedule (--profile for hot-spot triage)"
+    )
+    _add_model_args(p_sim)
+    p_sim.add_argument("--fusion", default="partial", choices=["unfused", "partial", "full", "cs"])
+    p_sim.add_argument("--par", action="append", help="index=factor parallelization")
+    p_sim.add_argument("--profile", action="store_true",
+                       help="print the top-k busiest nodes (node_busy/node_finish)")
+    p_sim.add_argument("--top", type=int, default=8, help="rows shown by --profile")
+    p_sim.add_argument("--legacy-streams", action="store_true",
+                       help="use the legacy tuple-list stream interpreter")
+    p_sim.add_argument("--debug-streams", action="store_true",
+                       help="validate the token protocol on every stream")
+    p_sim.add_argument("--no-sim-cache", action="store_true",
+                       help="disable functional/timed result memoization")
+    p_sim.set_defaults(fn=cmd_simulate)
 
     p_sweep = sub.add_parser(
         "sweep", help="parallel experiment sweeps over the design space"

@@ -16,11 +16,14 @@ for utilization reporting.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..sam.graph import SAMGraph
-from .functional import FunctionalResult, run_functional
+from .functional import FunctionalResult, default_sim_cache, run_functional
 from .machines import Machine, RDA_MACHINE
 from .memory import MemoryModel
 
@@ -70,25 +73,102 @@ class SimResult:
         return self.flops / self.dram_bytes if self.dram_bytes else float("inf")
 
 
+#: Below this length the pure-Python recurrences win: a handful of numpy
+#: array allocations cost more than a few dozen loop iterations.  Above it
+#: the ``np.maximum.accumulate`` closed forms take over.
+_VECTOR_THRESHOLD = 96
+
+
 def _emission_schedule(
-    driver: List[float],
+    driver,
     length: int,
     ii: float,
     start: float,
-) -> List[float]:
-    """Timestamps of ``length`` emissions paced by ``ii`` and input arrivals."""
-    times: List[float] = []
+):
+    """Timestamps of ``length`` emissions paced by ``ii`` and input arrivals.
+
+    Implements the recurrence ``t[k] = max(t[k-1] + ii, dep[k])`` (with
+    ``t[-1] = start``).  Long schedules use the closed form: subtracting the
+    ``ii``-ramp turns the running dependency into a prefix maximum, so the
+    whole schedule is one ``np.maximum.accumulate`` instead of a per-token
+    Python loop; short schedules stay in Python where numpy's fixed
+    per-call cost dominates.
+    """
     n_in = len(driver)
-    prev = start
-    for k in range(length):
-        if n_in:
-            dep = driver[min(n_in - 1, (k * n_in) // length)]
-        else:
-            dep = start
-        t = max(prev + ii, dep)
-        times.append(t)
-        prev = t
-    return times
+    if length < _VECTOR_THRESHOLD:
+        times = []
+        append = times.append
+        prev = start
+        for k in range(length):
+            # (k * n_in) // length < n_in for every k < length, so no clamp.
+            dep = driver[(k * n_in) // length] if n_in else start
+            t = prev + ii
+            if dep > t:
+                t = dep
+            append(t)
+            prev = t
+        return times
+    k = np.arange(length, dtype=np.float64)
+    if n_in:
+        idx = np.minimum(
+            n_in - 1, (np.arange(length, dtype=np.int64) * n_in) // length
+        )
+        dep = np.asarray(driver, dtype=np.float64)[idx]
+    else:
+        dep = np.full(length, start, dtype=np.float64)
+    ramp = ii * k
+    return np.maximum(start + ii * (k + 1.0), ramp + np.maximum.accumulate(dep - ramp))
+
+
+def _paced_times(times, step: float, latency: float):
+    """DRAM pacing ``served[k] = max(times[k], served[k-1] + step)`` + latency.
+
+    (``served[-1] = 0``.)  Same adaptive strategy as
+    :func:`_emission_schedule`: Python recurrence for short schedules, the
+    ramp-subtraction closed form for long ones.
+    """
+    if len(times) < _VECTOR_THRESHOLD:
+        out = []
+        append = out.append
+        prev = 0.0
+        for t in times:
+            served = prev + step
+            if t > served:
+                served = t
+            append(served + latency)
+            prev = served
+        return out
+    k = np.arange(len(times), dtype=np.float64)
+    ramp = step * k
+    served = np.maximum(
+        step * (k + 1.0), ramp + np.maximum.accumulate(np.asarray(times) - ramp)
+    )
+    return served + latency
+
+
+#: Shared empty out-port map (avoids allocating one per portless node).
+_NO_PORTS: Dict[str, Any] = {}
+
+#: Per-graph timing plans: node id, timing class, input port keys, and the
+#: node object (read live for its parallel factor).  Keyed weakly by graph;
+#: invalidated by identity of the topological-order list, which the graph
+#: rebuilds on any structural change.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[SAMGraph, Tuple[Any, List[Tuple]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _timing_plan(graph: SAMGraph, order: List[str]) -> List[Tuple]:
+    cached = _PLAN_CACHE.get(graph)
+    if cached is not None and cached[0] is order:
+        return cached[1]
+    plan = []
+    for node_id in order:
+        node = graph.nodes[node_id]
+        in_keys = tuple(src.key() for src in node.inputs.values())
+        plan.append((node_id, node.prim.timing_class(), in_keys, node))
+    _PLAN_CACHE[graph] = (order, plan)
+    return plan
 
 
 def run_timed(
@@ -97,44 +177,74 @@ def run_timed(
     machine: Machine = RDA_MACHINE,
     functional: FunctionalResult | None = None,
     memory: MemoryModel | None = None,
+    *,
+    columnar: Optional[bool] = None,
+    debug_streams: Optional[bool] = None,
+    cache: Optional[bool] = None,
 ) -> SimResult:
     """Run the timed simulation of ``graph`` on ``machine``.
 
     A pre-computed functional result may be supplied to avoid re-executing
     the graph; a shared memory model may be supplied to model contention
-    across graphs that run concurrently.
+    across graphs that run concurrently.  ``columnar``/``debug_streams``
+    select the stream representation and protocol checking of the
+    functional execution (see :func:`~repro.comal.functional.run_functional`).
+
+    Timing is a pure function of the functional result and the machine, so
+    when neither ``functional`` nor ``memory`` is supplied the result is
+    memoized alongside the functional memo (``cache``, default on; disable
+    with ``FUSEFLOW_NO_SIM_CACHE=1``).  A shared ``memory`` model always
+    bypasses the memo — its cross-graph contention state is a side effect.
     """
-    func = (
-        functional
-        if functional is not None
-        else run_functional(graph, binding, scratchpad_bytes=machine.scratchpad_bytes)
-    )
+    if cache is None:
+        cache = default_sim_cache()
+    tkey = None
+    if functional is None:
+        func = run_functional(
+            graph,
+            binding,
+            scratchpad_bytes=machine.scratchpad_bytes,
+            columnar=columnar,
+            debug_streams=debug_streams,
+            cache=cache,
+        )
+        if cache and memory is None:
+            tkey = (id(func), id(machine))
+            memo = graph.timed_cache
+            if memo is not None:
+                entry = memo.get(tkey)
+                if entry is not None:
+                    return entry[0]
+    else:
+        func = functional
     mem = memory if memory is not None else machine.memory()
 
-    port_times: Dict[Tuple[str, str], List[float]] = {}
+    port_times: Dict[Tuple[str, str], Any] = {}
     node_finish: Dict[str, float] = {}
     node_busy: Dict[str, float] = {}
 
-    for node_id in func.order:
-        node = graph.nodes[node_id]
-        tclass = node.prim.timing_class()
-        par = max(node.par_factor, 1)
-        ii = machine.ii_of(tclass) / par
+    # Group output streams by producing node once — the per-node dict
+    # comprehension over *all* streams was quadratic in graph size.
+    streams_by_node: Dict[str, Dict[str, Any]] = {}
+    for (nid, port), stream in func.streams.items():
+        streams_by_node.setdefault(nid, {})[port] = stream
+
+    for node_id, tclass, in_keys, par_node in _timing_plan(graph, func.order):
+        par = par_node.par_factor
+        ii = machine.ii_of(tclass) / (par if par > 1 else 1)
         lat = machine.latency_of(tclass)
         stats = func.stats.get(node_id)
 
-        in_arrays = [
-            port_times[(src.node_id, src.port)] for src in node.inputs.values()
-        ]
-        in_arrays = [a for a in in_arrays if a]
-        driver = max(in_arrays, key=len) if in_arrays else []
-        start = driver[0] if driver else 0.0
+        driver = ()
+        n_driver = 0
+        for key in in_keys:
+            arr = port_times[key]
+            if len(arr) > n_driver:
+                driver = arr
+                n_driver = len(arr)
+        start = float(driver[0]) if n_driver else 0.0
 
-        out_ports = {
-            port: stream
-            for (nid, port), stream in func.streams.items()
-            if nid == node_id
-        }
+        out_ports = streams_by_node.get(node_id, _NO_PORTS)
         max_len = max((len(s) for s in out_ports.values()), default=0)
 
         schedule = _emission_schedule(driver, max_len, ii, start)
@@ -143,48 +253,47 @@ def run_timed(
         # bandwidth (requests pipeline, latency overlaps); aggregate
         # contention is enforced by the global bandwidth roofline below.
         dram_bytes = (stats.dram_reads + stats.dram_writes) if stats else 0
-        if dram_bytes and schedule:
-            per_token = dram_bytes / len(schedule)
-            paced: List[float] = []
-            prev = 0.0
-            for t in schedule:
-                served = max(t, prev + per_token / mem.bandwidth)
-                paced.append(served + mem.latency)
-                prev = served
-            schedule = paced
+        if dram_bytes and max_len:
+            per_token = dram_bytes / max_len
+            schedule = _paced_times(schedule, per_token / mem.bandwidth, mem.latency)
             mem.total_bytes += dram_bytes
         elif dram_bytes:
             # No output tokens (pure writer): stream the traffic at the end.
-            arrival = driver[-1] if driver else 0.0
+            arrival = float(driver[-1]) if n_driver else 0.0
             node_finish[node_id] = arrival + dram_bytes / mem.bandwidth + mem.latency
             mem.total_bytes += dram_bytes
 
         for port, stream in out_ports.items():
             n = len(stream)
             if n == max_len:
-                times = [t + lat for t in schedule]
+                if isinstance(schedule, list):
+                    times = [t + lat for t in schedule]
+                else:
+                    times = schedule + lat
             elif n == 0:
-                times = []
+                times = ()
+            elif n < _VECTOR_THRESHOLD:
+                times = [schedule[(k * max_len) // n] + lat for k in range(n)]
             else:
-                times = [
-                    schedule[min(max_len - 1, (k * max_len) // n)] + lat
-                    for k in range(n)
-                ]
+                idx = np.minimum(
+                    max_len - 1, (np.arange(n, dtype=np.int64) * max_len) // n
+                )
+                times = np.asarray(schedule)[idx] + lat
             port_times[(node_id, port)] = times
 
         busy = max_len * ii
         node_busy[node_id] = busy
-        finish_candidates = [node_finish.get(node_id, 0.0)]
-        if schedule:
-            finish_candidates.append(schedule[-1] + lat)
-        if driver:
-            finish_candidates.append(driver[-1] + ii)
-        node_finish[node_id] = max(finish_candidates)
+        finish = node_finish.get(node_id, 0.0)
+        if max_len:
+            finish = max(finish, float(schedule[-1]) + lat)
+        if n_driver:
+            finish = max(finish, float(driver[-1]) + ii)
+        node_finish[node_id] = finish
 
     cycles = max(node_finish.values(), default=0.0)
     # Global bandwidth roofline: all DRAM traffic shares one device.
     cycles = max(cycles, mem.total_bytes / mem.bandwidth)
-    return SimResult(
+    result = SimResult(
         cycles=cycles,
         flops=func.total_ops(),
         dram_bytes=func.total_dram_bytes(),
@@ -194,3 +303,12 @@ def run_timed(
         functional=func,
         machine_name=machine.name,
     )
+    if tkey is not None:
+        memo = graph.timed_cache
+        if memo is None:
+            memo = graph.timed_cache = {}
+        # Pin func and machine so the id()-based key stays valid.
+        memo[tkey] = (result, func, machine)
+        while len(memo) > 8:
+            memo.pop(next(iter(memo)))
+    return result

@@ -4,27 +4,82 @@ Evaluates every node of a graph in topological order, producing the exact
 token streams of the SAM protocol.  This layer defines functional
 correctness; the timed executor in :mod:`repro.comal.engine` replays the
 same streams through a machine timing model.
+
+Two stream representations are supported:
+
+* **columnar** (default): streams are
+  :class:`~repro.sam.token.TokenStream` structure-of-arrays and primitives
+  run their vectorized ``process_columnar`` kernels;
+* **legacy**: streams are tuple lists and primitives run their per-token
+  ``process`` loops.  Selected with ``columnar=False`` or the
+  ``FUSEFLOW_LEGACY_STREAMS=1`` environment variable.
+
+Both paths produce identical streams, statistics, and results — the
+differential tests in ``tests/test_columnar_differential.py`` enforce this
+model by model.
+
+Per-stream protocol validation (``check_stream``) costs a pass over every
+produced stream, so it is gated behind ``debug_streams=True`` (or
+``FUSEFLOW_DEBUG_STREAMS=1``); the test suite turns it on.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..sam.graph import SAMGraph
 from ..sam.primitives.base import ExecutionContext, NodeStats
+from ..sam.token import StreamProtocolError, check_stream
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def default_columnar() -> bool:
+    """Columnar streams unless FUSEFLOW_LEGACY_STREAMS is set."""
+    return os.environ.get("FUSEFLOW_LEGACY_STREAMS", "").lower() not in _TRUTHY
+
+
+def default_debug_streams() -> bool:
+    """Per-stream protocol checks only when FUSEFLOW_DEBUG_STREAMS is set."""
+    return os.environ.get("FUSEFLOW_DEBUG_STREAMS", "").lower() in _TRUTHY
+
+
+def default_sim_cache() -> bool:
+    """Result memoization unless FUSEFLOW_NO_SIM_CACHE is set."""
+    return os.environ.get("FUSEFLOW_NO_SIM_CACHE", "").lower() not in _TRUTHY
+
+
+#: Entries kept per graph in the functional/timed memo (a sweep touches a
+#: handful of bindings per graph at most; executions dominate).
+_CACHE_ENTRIES = 4
+
+
+def _binding_key(graph: SAMGraph, binding: Dict[str, Any]) -> Optional[Tuple]:
+    """Identity key of the tensors this graph reads, or None if unbound.
+
+    Functional execution is a pure function of the graph and the bound
+    tensor *objects* (tensors are immutable once built), so object identity
+    is a sound memo key as long as the entry pins the tensors alive.
+    """
+    names = graph.input_tensor_names()
+    try:
+        return tuple(id(binding[name]) for name in names)
+    except KeyError:
+        return None
 
 
 @dataclass
 class FunctionalResult:
     """Streams and statistics from one functional execution."""
 
-    streams: Dict[Tuple[str, str], list] = field(default_factory=dict)
+    streams: Dict[Tuple[str, str], Any] = field(default_factory=dict)
     stats: Dict[str, NodeStats] = field(default_factory=dict)
     results: Dict[str, Any] = field(default_factory=dict)
     order: List[str] = field(default_factory=list)
 
-    def stream(self, node_id: str, port: str = "out") -> list:
+    def stream(self, node_id: str, port: str = "out"):
         return self.streams[(node_id, port)]
 
     def total_ops(self) -> int:
@@ -41,10 +96,46 @@ def run_functional(
     graph: SAMGraph,
     binding: Dict[str, Any],
     scratchpad_bytes: int = 1 << 16,
+    *,
+    columnar: Optional[bool] = None,
+    debug_streams: Optional[bool] = None,
+    cache: Optional[bool] = None,
 ) -> FunctionalResult:
-    """Execute ``graph`` functionally with tensors bound by name."""
-    graph.validate()
-    ctx = ExecutionContext(binding, scratchpad_bytes=scratchpad_bytes)
+    """Execute ``graph`` functionally with tensors bound by name.
+
+    ``columnar`` selects the stream representation (``None`` reads the
+    ``FUSEFLOW_LEGACY_STREAMS`` environment default); ``debug_streams``
+    enables per-stream protocol validation (``None`` reads
+    ``FUSEFLOW_DEBUG_STREAMS``).  Validation of the graph structure itself
+    happens once per graph object — the compile pipeline validates at
+    compile time, so cached executables pay nothing here.
+
+    ``cache`` memoizes the result per (tensor identities, scratchpad, mode):
+    functional execution is machine-independent apart from the scratchpad
+    size, so schedule sweeps and repeated executions of a cached
+    ``Executable`` skip re-simulation entirely (``FUSEFLOW_NO_SIM_CACHE=1``
+    or ``cache=False`` disables).  Bound tensors are treated as immutable.
+    """
+    if columnar is None:
+        columnar = default_columnar()
+    if debug_streams is None:
+        debug_streams = default_debug_streams()
+    if cache is None:
+        cache = default_sim_cache()
+    memo_key = None
+    if cache:
+        ids = _binding_key(graph, binding)
+        if ids is not None:
+            memo_key = (scratchpad_bytes, columnar, debug_streams, ids)
+            memo = graph.func_cache
+            if memo is not None:
+                entry = memo.get(memo_key)
+                if entry is not None:
+                    return entry[0]
+    graph.ensure_validated()
+    ctx = ExecutionContext(
+        binding, scratchpad_bytes=scratchpad_bytes, debug_streams=debug_streams
+    )
     result = FunctionalResult()
     order = graph.topological_order()
     result.order = order
@@ -59,9 +150,31 @@ def run_functional(
                 )
             ins[port_name] = result.streams[key]
         stats = ctx.stats_for(node_id)
-        outs = node.prim.process(ins, ctx, stats)
+        ctx.current_node = node_id
+        if columnar:
+            outs = node.prim.process_columnar(ins, ctx, stats)
+        else:
+            outs = node.prim.process(ins, ctx, stats)
         for port_name, stream in outs.items():
+            if debug_streams and len(stream):
+                try:
+                    check_stream(stream)
+                except StreamProtocolError as exc:
+                    raise StreamProtocolError(
+                        f"node {node_id} port {port_name!r}: {exc}"
+                    ) from exc
             result.streams[(node_id, port_name)] = stream
     result.stats = ctx.stats
     result.results = ctx.results
+    if memo_key is not None:
+        memo = graph.func_cache
+        if memo is None:
+            memo = graph.func_cache = {}
+        # Pin the bound tensors so the id()-based key stays valid.
+        memo[memo_key] = (
+            result,
+            [binding[n] for n in graph.input_tensor_names()],
+        )
+        while len(memo) > _CACHE_ENTRIES:
+            memo.pop(next(iter(memo)))
     return result

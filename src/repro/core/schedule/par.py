@@ -42,6 +42,8 @@ def apply_parallelization(
             f"index {index_var!r} is not iterated by this region (order {list(order)})"
         )
     cut = positions[index_var]
+    # Parallel factors change node timing: drop any memoized timed results.
+    graph.timed_cache = None
     affected = 0
     for node in graph.nodes.values():
         if node.region == "construct":

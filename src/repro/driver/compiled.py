@@ -46,6 +46,13 @@ class CompiledProgram:
     regions: List[CompiledRegion]
     decls: Dict[str, TensorDecl]
     compile_seconds: float = 0.0
+    # Materialized transposed views, keyed by (source tensor id, new name).
+    # Reusing them keeps binding identities stable across executions (the
+    # simulator memo keys on them); the DRAM/cycle cost of the permuted
+    # copy is still charged on every execution, as the timing model demands.
+    transpose_cache: Dict[Tuple[int, str], Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def total_nodes(self) -> int:
         return sum(r.graph.node_count() for r in self.regions if r.graph)
@@ -84,8 +91,18 @@ def execute_compiled(
     compiled: CompiledProgram,
     binding: Dict[str, SparseTensor],
     machine: Machine = RDA_MACHINE,
+    *,
+    columnar: Optional[bool] = None,
+    debug_streams: Optional[bool] = None,
+    cache: Optional[bool] = None,
 ) -> ProgramResult:
-    """Run all region graphs in order, chaining materialized outputs."""
+    """Run all region graphs in order, chaining materialized outputs.
+
+    ``columnar``/``debug_streams``/``cache`` select the stream
+    representation, per-stream protocol checking, and result memoization of
+    the underlying simulations (``None`` = environment defaults; see
+    :mod:`repro.comal.functional`).
+    """
     bind: Dict[str, Any] = dict(binding)
     metrics = ProgramMetrics(label=compiled.schedule.name)
     produced: Dict[str, SparseTensor] = {}
@@ -99,12 +116,28 @@ def execute_compiled(
         for orig, new_name, mode_order in region.transposes:
             if new_name not in bind:
                 source = bind[orig]
-                bind[new_name] = source.permuted_copy(mode_order, name=new_name)
+                tkey = (id(source), new_name)
+                copy = compiled.transpose_cache.get(tkey)
+                if copy is None:
+                    if len(compiled.transpose_cache) > 32:
+                        compiled.transpose_cache.clear()
+                    copy = source.permuted_copy(mode_order, name=new_name)
+                    compiled.transpose_cache[tkey] = copy
+                    # Keep the source pinned so its id stays valid.
+                    compiled.transpose_cache[(id(source), f"{new_name}#src")] = source
+                bind[new_name] = copy
                 # A permuted copy is a DRAM round trip of the whole tensor.
                 extra = 2 * source.bytes_total()
                 metrics.dram_bytes += extra
                 metrics.cycles += extra / machine.dram_bandwidth
-        result = run_timed(region.graph, bind, machine)
+        result = run_timed(
+            region.graph,
+            bind,
+            machine,
+            columnar=columnar,
+            debug_streams=debug_streams,
+            cache=cache,
+        )
         metrics.add(result, region.graph.name)
         for name, tensor in result.results.items():
             bind[name] = tensor

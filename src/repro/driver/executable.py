@@ -34,12 +34,19 @@ class Executable:
         machine: Machine,
         diagnostics: CompileDiagnostics,
         fingerprint: Tuple[str, ...] = (),
+        columnar: Optional[bool] = None,
+        debug_streams: Optional[bool] = None,
+        sim_cache: Optional[bool] = None,
     ) -> None:
         self.compiled = compiled
         self.machine = machine
         self.diagnostics = diagnostics
         #: The Session cache key this executable was stored under.
         self.fingerprint = fingerprint
+        #: Simulation options inherited from the Session (None = env default).
+        self.columnar = columnar
+        self.debug_streams = debug_streams
+        self.sim_cache = sim_cache
 
     # ------------------------------------------------------------------
     # Structure
@@ -81,7 +88,14 @@ class Executable:
         """Simulate on ``binding`` (and/or tensors by keyword)."""
         bind: Dict[str, SparseTensor] = dict(binding or {})
         bind.update(tensors)
-        return execute_compiled(self.compiled, bind, machine or self.machine)
+        return execute_compiled(
+            self.compiled,
+            bind,
+            machine or self.machine,
+            columnar=self.columnar,
+            debug_streams=self.debug_streams,
+            cache=self.sim_cache,
+        )
 
     def run(
         self,

@@ -151,6 +151,10 @@ class PassPipeline:
                 diagnostics.pass_seconds[pass_.name] = (
                     diagnostics.pass_seconds.get(pass_.name, 0.0) + elapsed
                 )
+            if state.graph is not None:
+                # Validate at compile time so executions (which may replay a
+                # cached Executable thousands of times) never re-validate.
+                state.graph.validate()
             regions.append(
                 CompiledRegion(
                     graph=state.graph,

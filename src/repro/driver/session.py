@@ -53,12 +53,24 @@ class Session:
         machine: Machine = RDA_MACHINE,
         pipeline: Optional[PassPipeline] = None,
         cache_size: int = 256,
+        columnar: Optional[bool] = None,
+        debug_streams: Optional[bool] = None,
+        sim_cache: Optional[bool] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be positive")
         self.machine = machine
         self.pipeline = pipeline or PassPipeline.default()
         self.cache_size = cache_size
+        #: Simulation options threaded into every executable this session
+        #: compiles: stream representation (columnar numpy kernels vs legacy
+        #: tuple lists), per-stream protocol checking, and functional/timed
+        #: result memoization.  ``None`` defers to the environment defaults
+        #: (FUSEFLOW_LEGACY_STREAMS / FUSEFLOW_DEBUG_STREAMS /
+        #: FUSEFLOW_NO_SIM_CACHE).
+        self.columnar = columnar
+        self.debug_streams = debug_streams
+        self.sim_cache = sim_cache
         self._cache: "OrderedDict[CacheKey, Executable]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -97,7 +109,15 @@ class Session:
             compile_seconds=time.perf_counter() - start,
         )
         diagnostics.compile_seconds = compiled.compile_seconds
-        executable = Executable(compiled, self.machine, diagnostics, key)
+        executable = Executable(
+            compiled,
+            self.machine,
+            diagnostics,
+            key,
+            columnar=self.columnar,
+            debug_streams=self.debug_streams,
+            sim_cache=self.sim_cache,
+        )
         self._cache[key] = executable
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)

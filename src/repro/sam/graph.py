@@ -61,6 +61,17 @@ class SAMGraph:
         # Named graph outputs: label -> producing port.
         self.outputs: Dict[str, Port] = {}
         self._counter = 0
+        # Structure caches, invalidated by add()/set_output(): simulation
+        # re-runs the same graph many times, so the topological sort and the
+        # validation result are computed once per structural change.
+        self._topo_cache: Optional[List[str]] = None
+        self._validated = False
+        self._tensor_names_cache: Optional[List[str]] = None
+        self._input_tensor_names_cache: Optional[List[str]] = None
+        # Executor-owned memoization slots (see repro.comal.functional /
+        # repro.comal.engine); cleared on structural change.
+        self.func_cache: Optional[Any] = None
+        self.timed_cache: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -89,6 +100,12 @@ class SAMGraph:
                 )
         node = Node(node_id=node_id, prim=prim, inputs=inputs, region=region, index_var=index_var)
         self.nodes[node_id] = node
+        self._topo_cache = None
+        self._validated = False
+        self._tensor_names_cache = None
+        self._input_tensor_names_cache = None
+        self.func_cache = None
+        self.timed_cache = None
         return node
 
     def port(self, node: Node | str, port: str = "out") -> Port:
@@ -104,6 +121,7 @@ class SAMGraph:
     def set_output(self, label: str, port: Port) -> None:
         """Mark a port as a named graph output."""
         self.outputs[label] = port
+        self._validated = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -120,7 +138,13 @@ class SAMGraph:
                     break
 
     def topological_order(self) -> List[str]:
-        """Kahn topological sort; raises on cycles (SAM graphs are DAGs)."""
+        """Kahn topological sort; raises on cycles (SAM graphs are DAGs).
+
+        The result is cached until the next structural change — executors
+        sort the same graph on every run.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
         indegree = {nid: 0 for nid in self.nodes}
         for node in self.nodes.values():
             seen_preds = set()
@@ -147,15 +171,35 @@ class SAMGraph:
                     ready.append(succ)
         if len(order) != len(self.nodes):
             raise GraphError("graph contains a cycle")
+        self._topo_cache = order
         return order
 
     def tensor_names(self) -> List[str]:
         """All tensor names referenced by scanners/arrays in this graph."""
+        if self._tensor_names_cache is not None:
+            return self._tensor_names_cache
         names = []
         for node in self.nodes.values():
             name = getattr(node.prim, "tensor_name", None)
             if name is not None and name not in names:
                 names.append(name)
+        self._tensor_names_cache = names
+        return names
+
+    def input_tensor_names(self) -> List[str]:
+        """Tensor names this graph *reads* (scanners/locators/arrays).
+
+        Writer outputs are excluded: they are produced by execution, not
+        bound into it — this is the name set a result memo must key on.
+        """
+        if self._input_tensor_names_cache is not None:
+            return self._input_tensor_names_cache
+        names = []
+        for node in self.nodes.values():
+            name = getattr(node.prim, "tensor_name", None)
+            if name is not None and node.prim.kind != "write" and name not in names:
+                names.append(name)
+        self._input_tensor_names_cache = names
         return names
 
     def node_count(self) -> int:
@@ -173,6 +217,17 @@ class SAMGraph:
         for label, port in self.outputs.items():
             if port.node_id not in self.nodes:
                 raise GraphError(f"output {label!r} references unknown node")
+        self._validated = True
+
+    def ensure_validated(self) -> None:
+        """Validate once; repeated calls on an unchanged graph are free.
+
+        The compile pipeline validates every lowered graph at compile time,
+        so executions of cached executables skip validation entirely; graphs
+        built by hand (tests, notebooks) still get checked on first run.
+        """
+        if not self._validated:
+            self.validate()
 
     def describe(self) -> str:
         """Multi-line human-readable dump, stable for golden tests."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..token import Stream
+from ..token import Stream, TokenStream
 
 
 @dataclass
@@ -45,6 +45,7 @@ class ExecutionContext:
         self,
         binding: Dict[str, Any] | None = None,
         scratchpad_bytes: int = 1 << 16,
+        debug_streams: bool = False,
     ) -> None:
         self.binding: Dict[str, Any] = dict(binding or {})
         self.stats: Dict[str, NodeStats] = {}
@@ -53,6 +54,12 @@ class ExecutionContext:
         # On-chip scratchpad capacity: tensors that fit are charged DRAM
         # traffic once (compulsory), not per re-access.
         self.scratchpad_bytes = scratchpad_bytes
+        # When True, every produced stream is protocol-checked (check_stream)
+        # and writers re-validate their inputs; costs a pass per stream, so
+        # it is off on hot paths and turned on by tests / debugging sessions.
+        self.debug_streams = debug_streams
+        # Node id currently executing, for error attribution in primitives.
+        self.current_node: str = "?"
 
     def tensor(self, name: str):
         try:
@@ -85,6 +92,29 @@ class Primitive:
     def process(self, ins: Dict[str, Stream], ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
         """Consume input streams, return output streams, update ``stats``."""
         raise NotImplementedError
+
+    def process_columnar(
+        self,
+        ins: Dict[str, TokenStream],
+        ctx: ExecutionContext,
+        stats: NodeStats,
+    ) -> Dict[str, TokenStream]:
+        """Columnar-path counterpart of :meth:`process`.
+
+        Hot primitives override this with vectorized numpy kernels; the
+        default bridges through the legacy tuple-list implementation so
+        exotic primitives stay correct without a rewrite.  Either way the
+        observable semantics — streams, stats, errors — match the legacy
+        path token for token.
+        """
+        legacy_ins = {
+            port: stream.to_tokens() if isinstance(stream, TokenStream) else stream
+            for port, stream in ins.items()
+        }
+        outs = self.process(legacy_ins, ctx, stats)
+        return {
+            port: TokenStream.from_tokens(stream) for port, stream in outs.items()
+        }
 
     def timing_class(self) -> str:
         return self.op_class or self.kind

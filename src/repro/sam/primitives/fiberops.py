@@ -17,7 +17,17 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-from ..token import DONE, EMPTY, STOP, VAL, Stream, StreamProtocolError
+from ..token import (
+    CRD,
+    DONE,
+    EMPTY,
+    REF,
+    STOP,
+    VAL,
+    Stream,
+    StreamProtocolError,
+    TokenStream,
+)
 from .base import ExecutionContext, NodeStats, Primitive
 
 
@@ -93,6 +103,60 @@ class FiberOp(Primitive):
             else:
                 raise StreamProtocolError(f"{self.kind} got token kind {kind}")
         stats.tokens_out += len(out)
+        return {"out": out}
+
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        """Columnar fiber op: slice per fiber, skip the token walk.
+
+        The numpy operator is applied to exactly the same per-fiber value
+        array the legacy path builds token by token, so results are
+        bit-identical; only the buffering loop is eliminated.
+        """
+        ts = ins["val"]
+        n = len(ts)
+        stats.tokens_in += n
+        kinds = ts.kinds
+        bad = np.nonzero((kinds == CRD) | (kinds == REF))[0]
+        if bad.size:
+            raise StreamProtocolError(
+                f"{self.kind} got token kind {int(kinds[bad[0]])}"
+            )
+        ctrl_pos = np.nonzero((kinds == STOP) | (kinds == DONE))[0]
+        pay_mask = (kinds == VAL) | (kinds == EMPTY)
+        pay_pos = np.nonzero(pay_mask)[0]
+        out_kinds = np.where(pay_mask, np.int8(VAL), kinds)
+        out_data = ts.data.copy()
+        # Fiber boundaries within the payload-position array.
+        bounds = np.searchsorted(pay_pos, ctrl_pos)
+        blocked = ts.objs is not None
+        out_objs = np.full(n, None, dtype=object) if blocked else None
+        if blocked:
+            values_all = [
+                ts.objs[i] if ts.objs[i] is not None else ts.data[i].item()
+                for i in pay_pos.tolist()
+            ]
+        else:
+            values_all = ts.data[pay_pos]
+        start = 0
+        for end in bounds.tolist():
+            if end > start:
+                if blocked:
+                    results = _apply_over_fiber(values_all[start:end], self._fn)
+                    for j, r in zip(range(start, end), results):
+                        stats.ops += self.flops_per_elem * (
+                            int(r.size) if isinstance(r, np.ndarray) else 1
+                        )
+                        if isinstance(r, np.ndarray):
+                            out_objs[pay_pos[j]] = r
+                        else:
+                            out_data[pay_pos[j]] = r
+                else:
+                    seg = values_all[start:end]
+                    out_data[pay_pos[start:end]] = self._fn(seg, axis=0)
+                    stats.ops += self.flops_per_elem * (end - start)
+            start = end
+        out = TokenStream(out_kinds, out_data, out_objs)
+        stats.tokens_out += n
         return {"out": out}
 
 

@@ -12,7 +12,7 @@ distinguishes FuseFlow's lowering from prior global-iteration compilers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,12 +21,52 @@ from ..token import (
     DONE,
     DONE_TOKEN,
     EMPTY,
+    REF,
     STOP,
     VAL,
     Stream,
     StreamProtocolError,
+    TokenStream,
+    streams_equal,
 )
 from .base import ExecutionContext, NodeStats, Primitive
+
+
+def _segment_sums(
+    values: np.ndarray, seg_of_value: np.ndarray, n_segments: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment left-to-right sums and element counts.
+
+    The legacy kernels accumulate strictly sequentially; numpy's
+    ``reduceat``/``sum`` use pairwise summation, which reassociates and can
+    differ in the last bit.  To stay bit-identical this adds in *rounds* —
+    round ``r`` adds the ``r``-th element of every still-unfinished segment —
+    which is sequential per segment but vectorized across segments.
+    Segments with no elements sum to 0.0.
+    """
+    counts = np.bincount(seg_of_value, minlength=n_segments)
+    sums = np.zeros(n_segments, dtype=np.float64)
+    if not len(values):
+        return sums, counts
+    if n_segments < 4:
+        # Few segments: a per-segment Python walk beats round dispatch.
+        vl = values.tolist()
+        pos = 0
+        for s, c in enumerate(counts.tolist()):
+            if c:
+                acc = vl[pos]
+                for j in range(pos + 1, pos + c):
+                    acc = acc + vl[j]
+                sums[s] = acc
+                pos += c
+        return sums, counts
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    nonempty = counts > 0
+    sums[nonempty] = values[starts[nonempty]]
+    for r in range(1, int(counts.max())):
+        live = counts > r
+        sums[live] = sums[live] + values[starts[live] + r]
+    return sums, counts
 
 
 class Reduce(Primitive):
@@ -69,6 +109,67 @@ class Reduce(Primitive):
             else:
                 raise StreamProtocolError(f"reduce got unexpected token kind {kind}")
         stats.tokens_out += len(out)
+        return {"val": out}
+
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        ts = ins["val"]
+        if ts.has_objs():
+            # Blocked reductions are rare; bridge through the legacy kernel.
+            return super().process_columnar(ins, ctx, stats)
+        n = len(ts)
+        stats.tokens_in += n
+        kinds = ts.kinds
+        bad = np.nonzero((kinds == CRD) | (kinds == REF))[0]
+        if bad.size:
+            raise StreamProtocolError(
+                f"reduce got unexpected token kind {int(kinds[bad[0]])}"
+            )
+        stop_pos = np.nonzero(kinds == STOP)[0]
+        stop_levels = ts.data[stop_pos].astype(np.int64)
+        n_stops = len(stop_pos)
+
+        val_pos = np.nonzero(kinds == VAL)[0]
+        empty_pos = np.nonzero(kinds == EMPTY)[0]
+        # Segment of a position = number of stops strictly before it.
+        seg_of_val = np.searchsorted(stop_pos, val_pos)
+        seg_of_empty = np.searchsorted(stop_pos, empty_pos)
+        n_segments = n_stops + 1  # + trailing segment before done
+        sums, val_counts = _segment_sums(ts.data[val_pos], seg_of_val, n_segments)
+        empty_counts = np.bincount(seg_of_empty, minlength=n_segments)
+
+        # FLOPs: one add per VAL accumulated onto a live accumulator.  The
+        # accumulator is live from the second VAL on — or from the first VAL
+        # when an EMPTY already initialized it to zero.
+        has_vals = val_counts > 0
+        first_val = np.full(n_segments, n, dtype=np.int64)
+        first_val[seg_of_val[::-1]] = val_pos[::-1]
+        first_empty = np.full(n_segments, n, dtype=np.int64)
+        first_empty[seg_of_empty[::-1]] = empty_pos[::-1]
+        early_empty = has_vals & (first_empty < first_val)
+        stats.ops += int(
+            np.sum(val_counts[has_vals] - 1) + np.count_nonzero(early_empty)
+        )
+
+        # Output layout: one VAL per stop (+ a shallower stop for levels
+        # > 0), a trailing VAL when the last segment saw any payload, done.
+        trailing = bool(has_vals[-1] or empty_counts[-1] > 0)
+        deep = stop_levels > 0
+        sizes = 1 + deep.astype(np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        total = int(offsets[-1]) + (1 if trailing else 0) + 1
+        out_kinds = np.full(total, VAL, dtype=np.int8)
+        out_data = np.zeros(total, dtype=np.float64)
+        val_slots = offsets[:-1]
+        out_data[val_slots] = sums[:n_stops]
+        deep_slots = val_slots[deep] + 1
+        out_kinds[deep_slots] = STOP
+        out_data[deep_slots] = (stop_levels[deep] - 1).astype(np.float64)
+        if trailing:
+            out_data[total - 2] = sums[n_stops]
+        out_kinds[total - 1] = DONE
+        out_data[total - 1] = 0.0
+        out = TokenStream(out_kinds, out_data)
+        stats.tokens_out += total
         return {"val": out}
 
 
@@ -192,6 +293,183 @@ class VectorReducer(Primitive):
         outs["val"] = out_val
         return outs
 
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        n_ord = self.order
+        val = ins["val"]
+        crds = [ins[f"crd{d}"] for d in range(n_ord)]
+        for d, s in enumerate(crds):
+            if len(s) != len(val):
+                raise StreamProtocolError(
+                    f"vreduce: crd{d}/val misaligned ({len(s)} vs {len(val)})"
+                )
+        kinds = val.kinds
+        n = len(val)
+        is_empty = kinds == EMPTY
+        if val.has_objs() and is_empty.any():
+            # Mixed block/zero accumulators: bridge through the legacy path.
+            return super().process_columnar(ins, ctx, stats)
+        stats.tokens_in += n * (n_ord + 1)
+        bad = np.nonzero((kinds == CRD) | (kinds == REF))[0]
+        if bad.size:
+            raise StreamProtocolError(
+                f"vreduce got unexpected token kind {int(kinds[bad[0]])}"
+            )
+        pay_pos = np.nonzero((kinds == VAL) | is_empty)[0]
+        stop_pos = np.nonzero(kinds == STOP)[0]
+        stop_levels = val.data[stop_pos].astype(np.int64)
+        for d, s in enumerate(crds):
+            ck = s.kinds
+            badp = pay_pos[ck[pay_pos] != CRD]
+            if badp.size:
+                i = int(badp[0])
+                raise StreamProtocolError(
+                    f"vreduce: crd{d} token {s.token_at(i)} does not align with value"
+                )
+            bads = (ck[stop_pos] != STOP) | (s.data[stop_pos] != val.data[stop_pos])
+            if bads.any():
+                raise StreamProtocolError("vreduce: stop tokens disagree")
+
+        boundary = stop_levels >= n_ord
+        flush_pos = stop_pos[boundary]
+        flush_levels = stop_levels[boundary]
+        n_flush = len(flush_pos)
+        group = np.searchsorted(flush_pos, pay_pos)
+
+        key_cols = [c.data[pay_pos].astype(np.int64) for c in crds]
+        if len(pay_pos):
+            sort_idx = np.lexsort(tuple(reversed(key_cols)) + (group,))
+            g_sorted = group[sort_idx]
+            k_sorted = [k[sort_idx] for k in key_cols]
+            change = np.ones(len(pay_pos), dtype=bool)
+            change[1:] = g_sorted[1:] != g_sorted[:-1]
+            for k in k_sorted:
+                change[1:] |= k[1:] != k[:-1]
+            row_starts = np.nonzero(change)[0]
+        else:
+            sort_idx = np.empty(0, dtype=np.int64)
+            g_sorted = np.empty(0, dtype=np.int64)
+            k_sorted = [np.empty(0, dtype=np.int64) for _ in range(n_ord)]
+            row_starts = np.empty(0, dtype=np.int64)
+        n_rows = len(row_starts)
+        row_group = g_sorted[row_starts]
+        row_keys = [k[row_starts] for k in k_sorted]
+
+        blocked = val.has_objs()
+        if not blocked:
+            values = val.data[pay_pos]
+            v_sorted = values[sort_idx]
+            row_of_elem = np.cumsum(change) - 1 if n_rows else np.empty(0, np.int64)
+            row_sums, _ = _segment_sums(v_sorted, row_of_elem, n_rows)
+            stats.ops += len(pay_pos) - n_rows
+            sums_list: List[Any] = row_sums.tolist()
+        else:
+            blocks = [val.objs[i] for i in pay_pos.tolist()]
+            shape = blocks[0].shape if blocks else ()
+            if any(
+                not isinstance(b, np.ndarray) or b.shape != shape for b in blocks
+            ):
+                return super().process_columnar(ins, ctx, stats)
+            ends = np.append(row_starts[1:], len(pay_pos))
+            sums_list = []
+            sorted_blocks = [blocks[i] for i in sort_idx.tolist()]
+            for s, e in zip(row_starts.tolist(), ends.tolist()):
+                acc = sorted_blocks[s]
+                for j in range(s + 1, e):
+                    acc = acc + sorted_blocks[j]
+                sums_list.append(acc)
+            block_size = int(np.prod(shape)) if shape else 1
+            stats.ops += (len(pay_pos) - n_rows) * block_size
+
+        # ---- emission (python over output rows; inputs already reduced) ----
+        crd_kinds = [bytearray() for _ in range(n_ord)]
+        crd_data = [[] for _ in range(n_ord)]
+        val_kinds = bytearray()
+        val_data: List[float] = []
+        val_objs: List[Any] = []
+
+        row_group_l = row_group.tolist()
+        row_key_l = list(zip(*(rk.tolist() for rk in row_keys))) if n_rows else []
+        flush_levels_l = flush_levels.tolist()
+
+        def emit_rows(r0: int, r1: int) -> None:
+            prev = None
+            for r in range(r0, r1):
+                key = row_key_l[r]
+                if prev is not None:
+                    common = 0
+                    while common < n_ord and prev[common] == key[common]:
+                        common += 1
+                    for d in range(n_ord):
+                        if common <= d - 1:
+                            crd_kinds[d].append(STOP)
+                            crd_data[d].append(d - 1 - common)
+                    if common <= n_ord - 2:
+                        val_kinds.append(STOP)
+                        val_data.append(n_ord - 2 - common)
+                        if blocked:
+                            val_objs.append(None)
+                for d in range(n_ord):
+                    if prev is None or key[: d + 1] != prev[: d + 1]:
+                        crd_kinds[d].append(CRD)
+                        crd_data[d].append(key[d])
+                val_kinds.append(VAL)
+                if blocked:
+                    val_data.append(0.0)
+                    val_objs.append(sums_list[r])
+                else:
+                    val_data.append(sums_list[r])
+                prev = key
+
+        def close_group(level: int) -> None:
+            extra = level - n_ord
+            for d in range(n_ord):
+                crd_kinds[d].append(STOP)
+                crd_data[d].append(d + extra)
+            val_kinds.append(STOP)
+            val_data.append(level - 1)
+            if blocked:
+                val_objs.append(None)
+
+        row = 0
+        for g in range(n_flush):
+            r1 = row
+            while r1 < n_rows and row_group_l[r1] == g:
+                r1 += 1
+            emit_rows(row, r1)
+            close_group(flush_levels_l[g])
+            row = r1
+        has_done = n > 0 and kinds[-1] == DONE
+        if has_done:
+            if row < n_rows:
+                emit_rows(row, n_rows)
+                close_group(n_ord)
+            for d in range(n_ord):
+                crd_kinds[d].append(DONE)
+                crd_data[d].append(0.0)
+            val_kinds.append(DONE)
+            val_data.append(0.0)
+            if blocked:
+                val_objs.append(None)
+
+        outs: Dict[str, TokenStream] = {}
+        for d in range(n_ord):
+            outs[f"crd{d}"] = TokenStream(
+                np.frombuffer(bytes(crd_kinds[d]), dtype=np.int8),
+                np.asarray(crd_data[d], dtype=np.float64),
+            )
+        objs_col: Optional[np.ndarray] = None
+        if blocked:
+            objs_col = np.array([*val_objs, None], dtype=object)[:-1]
+        outs["val"] = TokenStream(
+            np.frombuffer(bytes(val_kinds), dtype=np.int8),
+            np.asarray(val_data, dtype=np.float64),
+            objs_col,
+        )
+        stats.tokens_out += sum(len(outs[f"crd{d}"]) for d in range(n_ord)) + len(
+            outs["val"]
+        )
+        return outs
+
 
 class CrdDrop(Primitive):
     """Drop zero-valued entries from aligned (crd, val) innermost streams.
@@ -229,6 +507,32 @@ class CrdDrop(Primitive):
         stats.tokens_out += len(out_crd) + len(out_val)
         return {"crd": out_crd, "val": out_val}
 
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        crd_in, val_in = ins["crd"], ins["val"]
+        if len(crd_in) != len(val_in):
+            raise StreamProtocolError("crddrop: crd/val misaligned")
+        n = len(crd_in)
+        stats.tokens_in += 2 * n
+        is_crd = crd_in.kinds == CRD
+        # EMPTY val tokens are never "zero": their legacy payload is None,
+        # which the zero test keeps — only real zero *values* are dropped.
+        not_empty = val_in.kinds != EMPTY
+        if val_in.objs is None:
+            zero = (val_in.data == 0.0) & not_empty
+        else:
+            zero = np.zeros(n, dtype=bool)
+            for i in np.nonzero(is_crd & not_empty)[0].tolist():
+                v = val_in.objs[i]
+                if v is None:
+                    zero[i] = val_in.data[i] == 0.0
+                else:
+                    zero[i] = float(np.abs(v).max()) == 0.0
+        keep = np.nonzero(~(is_crd & zero))[0]
+        out_crd = crd_in.gather(keep)
+        out_val = val_in.gather(keep)
+        stats.tokens_out += len(out_crd) + len(out_val)
+        return {"crd": out_crd, "val": out_val}
+
 
 class AlignCheck(Primitive):
     """Assert two coordinate streams are identical, passing the first through.
@@ -254,3 +558,14 @@ class AlignCheck(Primitive):
             )
         stats.tokens_out += len(a)
         return {"out": list(a)}
+
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        a, b = ins["a"], ins["b"]
+        stats.tokens_in += len(a) + len(b)
+        if not streams_equal(a, b):
+            raise StreamProtocolError(
+                "aligned-adopt streams differ; the fusion schedule requires a "
+                "materialization boundary between these statements"
+            )
+        stats.tokens_out += len(a)
+        return {"out": a}

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional
 
+import numpy as np
+
 from ..token import (
     CRD,
     DONE,
@@ -24,6 +26,7 @@ from ..token import (
     Stream,
     StreamProtocolError,
     Token,
+    TokenStream,
 )
 from .base import ExecutionContext, NodeStats, Primitive
 
@@ -106,6 +109,76 @@ class Repeat(Primitive):
         stats.tokens_out += len(out)
         return {"out": out}
 
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        """Columnar repeat: Python over *fiber boundaries*, numpy over crds.
+
+        The base-cursor walk (which base payload each rep fiber repeats)
+        only advances at rep stop tokens, so it runs once per fiber; the
+        per-coordinate broadcast — the part that scales with stream size —
+        is a single gather.
+        """
+        base, rep = ins["base"], ins["rep"]
+        stats.tokens_in += len(base) + len(rep)
+        rk = rep.kinds
+        n = len(rk)
+        bad = np.nonzero((rk == REF) | (rk == VAL) | (rk == EMPTY))[0]
+        if bad.size:
+            raise StreamProtocolError(
+                f"repeat: unexpected token kind {int(rk[bad[0]])} on rep stream"
+            )
+        base_kinds = base.kinds.tolist()
+        base_data = base.data
+        nb = len(base_kinds)
+        stop_pos = np.nonzero(rk == STOP)[0]
+        stop_levels = rep.data[stop_pos].astype(np.int64).tolist()
+
+        # Cursor walk over fiber boundaries: fiber f repeats base[cursor_f].
+        cursors = [0]
+        bi = 0
+        for lvl in stop_levels:
+            bk = base_kinds[bi] if bi < nb else DONE
+            if bk != STOP and bk != DONE:
+                bi += 1  # consume the payload this fiber repeated
+            if lvl >= 1:
+                bk = base_kinds[bi] if bi < nb else DONE
+                if bk != STOP:
+                    found = base.token_at(bi) if bi < nb else "EOS"
+                    raise StreamProtocolError(
+                        f"repeat: rep stop {lvl} expects a base stop "
+                        f"{lvl - 1}, found {found}"
+                    )
+                if int(base_data[bi]) != lvl - 1:
+                    raise StreamProtocolError(
+                        f"repeat: rep stop {lvl} mismatches base stop "
+                        f"{int(base_data[bi])}"
+                    )
+                bi += 1
+            cursors.append(bi)
+
+        crd_pos = np.nonzero(rk == CRD)[0]
+        out_kinds = rk.copy()
+        out_data = rep.data.copy()
+        out_objs = None
+        if crd_pos.size:
+            fiber_of_crd = np.searchsorted(stop_pos, crd_pos)
+            src = np.asarray(cursors, dtype=np.int64)[fiber_of_crd]
+            valid = src < nb
+            src_k = np.where(valid, src, 0)
+            kinds_at = base.kinds[src_k]
+            payload_ok = valid & (kinds_at != STOP) & (kinds_at != DONE)
+            if not payload_ok.all():
+                raise StreamProtocolError(
+                    "repeat: rep stream has coordinates but base has none current"
+                )
+            out_kinds[crd_pos] = kinds_at
+            out_data[crd_pos] = base_data[src_k]
+            if base.objs is not None:
+                out_objs = np.full(n, None, dtype=object)
+                out_objs[crd_pos] = base.objs[src_k]
+        out = TokenStream(out_kinds, out_data, out_objs)
+        stats.tokens_out += n
+        return {"out": out}
+
 
 class RepeatSigGen(Primitive):
     """Identity view of a coordinate stream used as a repeat signal.
@@ -122,6 +195,12 @@ class RepeatSigGen(Primitive):
 
     def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
         stream = list(ins["crd"])
+        stats.tokens_in += len(stream)
+        stats.tokens_out += len(stream)
+        return {"out": stream}
+
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        stream = ins["crd"]
         stats.tokens_in += len(stream)
         stats.tokens_out += len(stream)
         return {"out": stream}
@@ -162,4 +241,34 @@ class ScalarRepeat(Primitive):
                     f"scalar repeat: unexpected token kind {kind} on rep stream"
                 )
         stats.tokens_out += len(out)
+        return {"out": out}
+
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        base, rep = ins["base"], ins["rep"]
+        stats.tokens_in += len(base) + len(rep)
+        bk = base.kinds
+        pay_pos = np.nonzero((bk != STOP) & (bk != DONE))[0]
+        if len(pay_pos) != 1:
+            raise StreamProtocolError(
+                f"scalar repeat expects exactly one base payload, got {len(pay_pos)}"
+            )
+        p = int(pay_pos[0])
+        rk = rep.kinds
+        n = len(rk)
+        bad = np.nonzero((rk != CRD) & (rk != STOP) & (rk != DONE))[0]
+        if bad.size:
+            raise StreamProtocolError(
+                f"scalar repeat: unexpected token kind {int(rk[bad[0]])} on rep stream"
+            )
+        is_crd = rk == CRD
+        out_kinds = np.where(is_crd, bk[p], rk)
+        out_data = np.where(is_crd, base.data[p], rep.data)
+        out_objs = None
+        if base.objs is not None and base.objs[p] is not None:
+            out_objs = np.full(n, None, dtype=object)
+            fill = np.empty(int(np.count_nonzero(is_crd)), dtype=object)
+            fill.fill(base.objs[p])
+            out_objs[is_crd] = fill
+        out = TokenStream(out_kinds, out_data, out_objs)
+        stats.tokens_out += n
         return {"out": out}

@@ -10,7 +10,10 @@ protocol (Section 2 of the paper).
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict
+
+import numpy as np
 
 from ..token import (
     CRD,
@@ -20,10 +23,27 @@ from ..token import (
     EMPTY_TOKEN,
     REF,
     STOP,
+    VAL,
     Stream,
     StreamProtocolError,
+    TokenStream,
 )
 from .base import ExecutionContext, NodeStats, Primitive
+
+#: Single-byte kind codes for building columnar kind arrays with bytearray
+#: (CRD=0 .. EMPTY=5 fit in a byte; bytearray extend/append is C-speed).
+_B_CRD = bytes((CRD,))
+_B_REF = bytes((REF,))
+_B_STOP = bytes((STOP,))
+_B_DONE = bytes((DONE,))
+
+
+def _wrap_columns(kinds: bytearray, data: array) -> TokenStream:
+    """Zero-ish-copy wrap of builder columns into a TokenStream."""
+    return TokenStream(
+        np.frombuffer(bytes(kinds), dtype=np.int8),
+        np.frombuffer(data, dtype=np.float64) if len(data) else np.empty(0),
+    )
 
 
 class Root(Primitive):
@@ -37,6 +57,15 @@ class Root(Primitive):
         out: Stream = [(REF, 0), DONE_TOKEN]
         stats.tokens_out += len(out)
         return {"ref": out}
+
+    #: Constant columnar root stream (streams are immutable in flight).
+    _COLUMNAR = TokenStream(
+        np.array([REF, DONE], dtype=np.int8), np.zeros(2, dtype=np.float64)
+    )
+
+    def process_columnar(self, ins, ctx, stats) -> Dict[str, TokenStream]:
+        stats.tokens_out += 2
+        return {"ref": Root._COLUMNAR}
 
 
 class LevelScanner(Primitive):
@@ -117,6 +146,89 @@ class LevelScanner(Primitive):
         stats.tokens_out += len(crd_out) + len(ref_out)
         return {"crd": crd_out, "ref": ref_out}
 
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        """Columnar scan: per-input-token control flow, per-fiber bulk emit.
+
+        The Python loop runs once per *input* token (references and stops);
+        each fiber's coordinates and child references are emitted with
+        C-speed ``extend`` of the level's slice/range, so the cost no longer
+        scales with the (much larger) output token count.
+        """
+        ref_in = ins["ref"]
+        tensor = ctx.tensor(self.tensor_name)
+        level = tensor.levels[self.level]
+        compressed = level.kind == "compressed"
+        n = len(ref_in)
+        stats.tokens_in += n
+        if ref_in.has_objs():
+            # Opaque reference handles: bridge through the legacy kernel.
+            return super().process_columnar(ins, ctx, stats)
+
+        kinds_in = ref_in.kinds.tolist()
+        data_in = ref_in.data
+        # Shared control skeleton; separate payload kinds per output stream.
+        crd_kinds = bytearray()
+        ref_kinds = bytearray()
+        crd_data = array("d")
+        ref_data = array("d")
+        open_fiber = False
+        nnz = 0
+        n_fibers = 0
+        for i, kind in enumerate(kinds_in):
+            if kind == REF:
+                if open_fiber:
+                    crd_kinds += _B_STOP
+                    ref_kinds += _B_STOP
+                    crd_data.append(0.0)
+                    ref_data.append(0.0)
+                coords, children = level.fiber(int(data_in[i]))
+                m = len(coords)
+                crd_kinds += _B_CRD * m
+                ref_kinds += _B_REF * m
+                crd_data.extend(coords)
+                ref_data.extend(children)
+                nnz += m
+                n_fibers += 1
+                open_fiber = True
+            elif kind == EMPTY:
+                if open_fiber:
+                    crd_kinds += _B_STOP
+                    ref_kinds += _B_STOP
+                    crd_data.append(0.0)
+                    ref_data.append(0.0)
+                open_fiber = True
+            elif kind == STOP:
+                crd_kinds += _B_STOP
+                ref_kinds += _B_STOP
+                lvl = data_in[i] + 1.0
+                crd_data.append(lvl)
+                ref_data.append(lvl)
+                open_fiber = False
+            elif kind == DONE:
+                if open_fiber:
+                    crd_kinds += _B_STOP
+                    ref_kinds += _B_STOP
+                    crd_data.append(0.0)
+                    ref_data.append(0.0)
+                crd_kinds += _B_DONE
+                ref_kinds += _B_DONE
+                crd_data.append(0.0)
+                ref_data.append(0.0)
+            else:
+                raise StreamProtocolError(f"scanner got unexpected token kind {kind}")
+        if compressed and self.dram:
+            access_bytes = 8 * n_fibers + 4 * nnz
+            footprint = tensor.bytes_structure()
+            if footprint <= ctx.scratchpad_bytes:
+                stats.dram_reads += min(access_bytes, footprint)
+            else:
+                stats.dram_reads += access_bytes
+        stats.tokens_out += len(crd_kinds) + len(ref_kinds)
+        return {
+            "crd": _wrap_columns(crd_kinds, crd_data),
+            "ref": _wrap_columns(ref_kinds, ref_data),
+        }
+
 
 class Locate(Primitive):
     """Map coordinate tokens to references within one tensor level.
@@ -174,6 +286,48 @@ class Locate(Primitive):
         stats.tokens_out += len(out)
         return {"ref": out}
 
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        crd_in = ins["crd"]
+        tensor = ctx.tensor(self.tensor_name)
+        level = tensor.levels[self.level]
+        kinds = crd_in.kinds
+        n = len(kinds)
+        stats.tokens_in += n
+        bad = np.nonzero((kinds == REF) | (kinds == VAL))[0]
+        if bad.size:
+            raise StreamProtocolError(
+                f"locate got unexpected token kind {int(kinds[bad[0]])}"
+            )
+        is_crd = kinds == CRD
+        if level.kind == "dense":
+            # A coordinate *is* the position offset: retag CRD -> REF.
+            out_kinds = np.where(is_crd, np.int8(REF), kinds)
+            return self._finish(out_kinds, crd_in.data, stats)
+        coords, children = level.fiber(0)
+        carr = np.asarray(coords, dtype=np.int64)
+        queries = crd_in.data[is_crd].astype(np.int64)
+        idx = np.searchsorted(carr, queries)
+        clipped = np.minimum(idx, max(len(carr) - 1, 0))
+        found = (
+            (carr[clipped] == queries) & (idx < len(carr))
+            if len(carr)
+            else np.zeros(len(queries), dtype=bool)
+        )
+        child_base = children[0] if len(carr) else 0
+        out_kinds = kinds.copy()
+        out_data = crd_in.data.copy()
+        crd_pos = np.nonzero(is_crd)[0]
+        out_kinds[crd_pos] = np.where(found, np.int8(REF), np.int8(EMPTY))
+        out_data[crd_pos] = np.where(found, (child_base + clipped).astype(np.float64), 0.0)
+        if self.dram:
+            stats.dram_reads += 8 * len(queries)
+        return self._finish(out_kinds, out_data, stats)
+
+    def _finish(self, kinds: np.ndarray, data: np.ndarray, stats: NodeStats) -> Dict[str, TokenStream]:
+        out = TokenStream(kinds, data)
+        stats.tokens_out += len(out)
+        return {"ref": out}
+
 
 class CrdSource(Primitive):
     """Replay a precomputed stream (used to stitch kernels and in tests)."""
@@ -192,3 +346,11 @@ class CrdSource(Primitive):
     def process(self, ins, ctx, stats) -> Dict[str, Stream]:
         stats.tokens_out += len(self.stream)
         return {"out": list(self.stream)}
+
+    def process_columnar(self, ins, ctx, stats) -> Dict[str, TokenStream]:
+        cached = getattr(self, "_columnar", None)
+        if cached is None:
+            cached = TokenStream.from_tokens(self.stream)
+            self._columnar = cached
+        stats.tokens_out += len(cached)
+        return {"out": cached}

@@ -15,7 +15,16 @@ import numpy as np
 
 from ...ftree.format import Format
 from ...ftree.tensor import SparseTensor
-from ..token import Stream, StreamProtocolError, stream_to_nest
+from ..token import (
+    CRD,
+    DONE,
+    STOP,
+    Stream,
+    StreamProtocolError,
+    TokenStream,
+    check_stream,
+    stream_to_nest,
+)
 from .base import ExecutionContext, NodeStats, Primitive
 
 
@@ -55,8 +64,11 @@ class TensorWriter(Primitive):
     def process(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, Stream]:
         n = len(self.shape)
         stats.tokens_in += sum(len(s) for s in ins.values())
-        nests = [stream_to_nest(ins[f"crd{d}"], d + 1) for d in range(n)]
-        val_nest = stream_to_nest(ins["val"], n)
+        check = ctx.debug_streams
+        nests = [
+            stream_to_nest(ins[f"crd{d}"], d + 1, check=check) for d in range(n)
+        ]
+        val_nest = stream_to_nest(ins["val"], n, check=check)
         coords: Dict[Tuple[int, ...], Any] = {}
 
         def rec(depth: int, frames: List[Any], vals: Any, prefix: Tuple[int, ...]) -> None:
@@ -80,6 +92,11 @@ class TensorWriter(Primitive):
                 for p, v in coords.items()
                 if (np.abs(v).max() if isinstance(v, np.ndarray) else abs(v)) != 0.0
             }
+        return self._build(coords, ctx, stats)
+
+    def _build(
+        self, coords: Dict[Tuple[int, ...], Any], ctx: ExecutionContext, stats: NodeStats
+    ) -> Dict[str, Stream]:
         tensor = SparseTensor.from_coords(
             self.shape, self.fmt, coords, name=self.tensor_name
         )
@@ -90,3 +107,79 @@ class TensorWriter(Primitive):
         out: Stream = []
         stats.tokens_out += len(out)
         return {"tensor": out}
+
+    def process_columnar(self, ins, ctx: ExecutionContext, stats: NodeStats) -> Dict[str, TokenStream]:
+        """Columnar assembly: coordinate paths by counting fiber closures.
+
+        The coordinate path of the ``k``-th value is recovered without
+        nesting: at level ``d`` the active coordinate is the ``g``-th
+        payload of ``crd_d``, where ``g`` counts the stops of level
+        ``>= n-2-d`` seen before the value (each such stop closes one
+        depth-``d+1`` fiber of the value nest).  The innermost crd stream
+        aligns 1:1 with the values.
+        """
+        n = len(self.shape)
+        stats.tokens_in += sum(len(s) for s in ins.values())
+        if ctx.debug_streams:
+            for stream in ins.values():
+                check_stream(stream)
+        val = ins["val"]
+        kinds = val.kinds
+        val_pos = np.nonzero((kinds != STOP) & (kinds != DONE))[0]
+        m = len(val_pos)
+
+        cols: List[np.ndarray] = []
+        for d in range(n):
+            crd = ins[f"crd{d}"]
+            ck = crd.kinds
+            pay = np.nonzero((ck != STOP) & (ck != DONE))[0]
+            if (ck[pay] != CRD).any():
+                raise StreamProtocolError(
+                    f"writer {self.tensor_name}: crd{d} carries non-coordinate "
+                    "payload tokens"
+                )
+            payloads = crd.data[pay].astype(np.int64)
+            if d == n - 1:
+                if len(payloads) != m:
+                    raise StreamProtocolError(
+                        f"writer {self.tensor_name}: level {d} crd/val fan-out "
+                        f"mismatch ({len(payloads)} vs {m})"
+                    )
+                cols.append(payloads)
+            else:
+                closes = (kinds == STOP) & (val.data >= n - 2 - d)
+                group = np.cumsum(closes)[val_pos]
+                if m and (
+                    len(payloads) <= int(group.max())
+                ):
+                    raise StreamProtocolError(
+                        f"writer {self.tensor_name}: level {d} crd/val fan-out "
+                        f"mismatch ({len(payloads)} vs {int(group.max()) + 1})"
+                    )
+                cols.append(payloads[group] if m else payloads[:0])
+
+        if val.objs is None:
+            vals = val.data[val_pos]
+            if self.drop_zeros:
+                keep = vals != 0.0
+                vals = vals[keep]
+                cols = [c[keep] for c in cols]
+            values: List[Any] = vals.tolist()
+        else:
+            values = [
+                val.objs[i] if val.objs[i] is not None else val.data[i].item()
+                for i in val_pos.tolist()
+            ]
+            if self.drop_zeros:
+                keep_l = [
+                    (np.abs(v).max() if isinstance(v, np.ndarray) else abs(v)) != 0.0
+                    for v in values
+                ]
+                keep = np.asarray(keep_l, dtype=bool)
+                values = [v for v, k in zip(values, keep_l) if k]
+                cols = [c[keep] for c in cols]
+
+        paths = zip(*(c.tolist() for c in cols)) if n else iter(())
+        coords = dict(zip(paths, values))
+        self._build(coords, ctx, stats)
+        return {"tensor": TokenStream.empty()}

@@ -31,7 +31,9 @@ uses heavily.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 # Token kinds.  Kept as small ints because streams can be long.
 CRD = 0
@@ -124,7 +126,13 @@ def check_stream(stream: Sequence[Token], *, allow_empty_tokens: bool = True) ->
     * no token follows the done token;
     * stop levels are non-negative integers;
     * if ``allow_empty_tokens`` is False, no EMPTY tokens appear.
+
+    Accepts both the legacy tuple-list form and :class:`TokenStream`
+    (validated columnar-side, without materializing tuples).
     """
+    if isinstance(stream, TokenStream):
+        _check_columnar(stream, allow_empty_tokens=allow_empty_tokens)
+        return
     if not stream:
         raise StreamProtocolError("stream is empty (missing done token)")
     if stream[-1][0] != DONE:
@@ -196,15 +204,19 @@ def nest_to_stream(nested: Any, kind: int = VAL) -> Stream:
     return out
 
 
-def stream_to_nest(stream: Sequence[Token], depth: int) -> Any:
+def stream_to_nest(stream: Sequence[Token], depth: int, *, check: bool = True) -> Any:
     """Convert a token stream back into a nested list of ``depth`` levels.
 
     Inverse of :func:`nest_to_stream` for canonical streams that follow the
     full-closure convention (every fiber, including the outermost, is closed
     by a stop before done).  ``depth`` is the number of nesting levels: a
     flat stream like ``a b S0 D`` has depth 1 and yields ``[a, b]``.
+
+    ``check=False`` skips the protocol validation pre-pass (hot paths that
+    already validated the stream, or run with checks gated off).
     """
-    check_stream(stream)
+    if check:
+        check_stream(stream)
     # stack[0] is the root fiber; stack[depth-1] the innermost open fiber.
     stack: List[List[Any]] = [[] for _ in range(depth)]
     closed_root = False
@@ -255,4 +267,291 @@ def append_done(stream: List[Token]) -> List[Token]:
 
 def count_kind(stream: Iterable[Token], kind: int) -> int:
     """Count tokens of a given kind in a stream."""
+    if isinstance(stream, TokenStream):
+        return int(np.count_nonzero(stream.kinds == kind))
     return sum(1 for tok in stream if tok[0] == kind)
+
+
+# ----------------------------------------------------------------------
+# Columnar token streams
+# ----------------------------------------------------------------------
+
+#: Kinds whose payload is a non-negative/na integral quantity (coordinate,
+#: reference position, stop level) reconstructed as a Python int.
+_INT_PAYLOAD_KINDS = frozenset((CRD, REF, STOP))
+
+_NUMERIC_TYPES = (int, float, np.integer, np.floating, np.bool_)
+
+
+class TokenStream:
+    """Columnar (structure-of-arrays) representation of a token stream.
+
+    Instead of a ``List[Tuple[int, Any]]`` walked one token at a time, a
+    :class:`TokenStream` holds three parallel columns:
+
+    ``kinds``
+        ``int8`` array of token kinds (``CRD``/``REF``/``VAL``/...).
+    ``data``
+        ``float64`` array of numeric payloads — coordinates, reference
+        positions, stop levels, and scalar values.  Zero for payload-free
+        tokens (done/empty) and for object payloads.
+    ``objs``
+        Optional ``object`` array (same length) carrying non-scalar payloads
+        — numpy blocks of blocked formats, opaque reference handles.  ``None``
+        when every payload is numeric; positions without an object payload
+        hold ``None``.
+
+    The class implements the sequence protocol over logical ``(kind,
+    payload)`` tuples, so diagnostic code (``pretty``, error paths, the
+    legacy-fallback kernels) can treat either representation uniformly;
+    vectorized kernels operate on the columns directly.
+
+    Conversion to/from the legacy tuple-list form is lossless up to numeric
+    type (a coordinate round-trips as an equal Python int; scalar values
+    round-trip as equal floats).
+    """
+
+    __slots__ = ("kinds", "data", "objs")
+
+    def __init__(
+        self,
+        kinds: np.ndarray,
+        data: np.ndarray,
+        objs: Optional[np.ndarray] = None,
+    ) -> None:
+        self.kinds = kinds
+        self.data = data
+        self.objs = objs
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TokenStream":
+        return cls(np.empty(0, dtype=np.int8), np.empty(0, dtype=np.float64))
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[Token]) -> "TokenStream":
+        """Convert a legacy tuple-list stream to columnar form."""
+        if isinstance(tokens, TokenStream):
+            return tokens
+        n = len(tokens)
+        kinds = np.empty(n, dtype=np.int8)
+        data = np.zeros(n, dtype=np.float64)
+        objs: Optional[np.ndarray] = None
+        for i, (kind, payload) in enumerate(tokens):
+            kinds[i] = kind
+            if payload is None or kind == DONE or kind == EMPTY:
+                continue
+            if isinstance(payload, _NUMERIC_TYPES):
+                data[i] = payload
+            else:
+                if objs is None:
+                    objs = np.full(n, None, dtype=object)
+                objs[i] = payload
+        return cls(kinds, data, objs)
+
+    @classmethod
+    def build(
+        cls,
+        kinds: np.ndarray,
+        data: np.ndarray,
+        objs: Optional[np.ndarray] = None,
+    ) -> "TokenStream":
+        """Build from freshly computed columns, normalizing dtypes."""
+        return cls(
+            np.ascontiguousarray(kinds, dtype=np.int8),
+            np.ascontiguousarray(data, dtype=np.float64),
+            objs,
+        )
+
+    @classmethod
+    def concat(cls, parts: Sequence["TokenStream"]) -> "TokenStream":
+        """Concatenate several columnar streams."""
+        if not parts:
+            return cls.empty()
+        kinds = np.concatenate([p.kinds for p in parts])
+        data = np.concatenate([p.data for p in parts])
+        objs = None
+        if any(p.objs is not None for p in parts):
+            objs = np.concatenate(
+                [
+                    p.objs
+                    if p.objs is not None
+                    else np.full(len(p), None, dtype=object)
+                    for p in parts
+                ]
+            )
+        return cls(kinds, data, objs)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_tokens(self) -> Stream:
+        """Convert back to the legacy tuple-list form."""
+        kinds = self.kinds
+        data = self.data
+        objs = self.objs
+        out: Stream = []
+        append = out.append
+        for i in range(len(kinds)):
+            kind = int(kinds[i])
+            if kind == DONE:
+                append(DONE_TOKEN)
+            elif kind == EMPTY:
+                append(EMPTY_TOKEN)
+            elif objs is not None and objs[i] is not None:
+                append((kind, objs[i]))
+            elif kind == VAL:
+                append((kind, data[i].item()))
+            else:
+                append((kind, int(data[i])))
+        return out
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def token_at(self, i: int) -> Token:
+        kind = int(self.kinds[i])
+        if kind == DONE:
+            return DONE_TOKEN
+        if kind == EMPTY:
+            return EMPTY_TOKEN
+        if self.objs is not None and self.objs[i] is not None:
+            return (kind, self.objs[i])
+        if kind == VAL:
+            return (kind, self.data[i].item())
+        return (kind, int(self.data[i]))
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            objs = self.objs[index] if self.objs is not None else None
+            return TokenStream(self.kinds[index], self.data[index], objs)
+        if index < 0:
+            index += len(self.kinds)
+        return self.token_at(index)
+
+    def __iter__(self) -> Iterator[Token]:
+        for i in range(len(self.kinds)):
+            yield self.token_at(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TokenStream):
+            return streams_equal(self, other)
+        if isinstance(other, (list, tuple)):
+            return streams_equal(self, other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TokenStream {pretty(self)}>"
+
+    # ------------------------------------------------------------------
+    # Columnar helpers used by vectorized kernels
+    # ------------------------------------------------------------------
+    def control_mask(self) -> np.ndarray:
+        """Boolean mask of stop/done tokens."""
+        return (self.kinds == STOP) | (self.kinds == DONE)
+
+    def payload_mask(self) -> np.ndarray:
+        """Boolean mask of crd/ref/val/empty tokens."""
+        return ~self.control_mask()
+
+    def gather(self, index: np.ndarray) -> "TokenStream":
+        """Positional gather preserving kinds/payloads (fancy indexing)."""
+        objs = self.objs[index] if self.objs is not None else None
+        return TokenStream(self.kinds[index], self.data[index], objs)
+
+    def int_payloads(self, mask_or_index) -> np.ndarray:
+        """Numeric payloads at selected positions as an int64 array."""
+        return self.data[mask_or_index].astype(np.int64)
+
+    def has_objs(self) -> bool:
+        return self.objs is not None
+
+
+def _check_columnar(stream: "TokenStream", *, allow_empty_tokens: bool = True) -> None:
+    """Vectorized protocol validation of a columnar stream."""
+    kinds = stream.kinds
+    n = len(kinds)
+    if n == 0:
+        raise StreamProtocolError("stream is empty (missing done token)")
+    if kinds[-1] != DONE:
+        raise StreamProtocolError(
+            f"stream does not end with done: {pretty(stream[-5:])}"
+        )
+    early_done = np.nonzero(kinds[:-1] == DONE)[0]
+    if early_done.size:
+        raise StreamProtocolError(
+            f"done token at position {int(early_done[0])} is not last"
+        )
+    stops = kinds == STOP
+    if stops.any():
+        levels = stream.data[stops]
+        bad = (levels < 0) | (levels != np.floor(levels))
+        if bad.any():
+            pos = int(np.nonzero(stops)[0][np.nonzero(bad)[0][0]])
+            raise StreamProtocolError(
+                f"bad stop level {stream.data[pos]!r} at position {pos}"
+            )
+    if not allow_empty_tokens:
+        empties = np.nonzero(kinds == EMPTY)[0]
+        if empties.size:
+            raise StreamProtocolError(
+                f"unexpected empty token at position {int(empties[0])}"
+            )
+
+
+def token_equal(a: Token, b: Token) -> bool:
+    """Tuple-token equality that tolerates numpy-array payloads."""
+    if a[0] != b[0]:
+        return False
+    pa, pb = a[1], b[1]
+    if isinstance(pa, np.ndarray) or isinstance(pb, np.ndarray):
+        return (
+            isinstance(pa, np.ndarray)
+            and isinstance(pb, np.ndarray)
+            and pa.shape == pb.shape
+            and bool(np.array_equal(pa, pb))
+        )
+    return bool(pa == pb)
+
+
+def streams_equal(a: Sequence[Token], b: Sequence[Token]) -> bool:
+    """Whole-stream equality across representations (columnar or list).
+
+    Two streams are equal when they have the same length and every logical
+    ``(kind, payload)`` token compares equal (numpy block payloads compare
+    elementwise).
+    """
+    if len(a) != len(b):
+        return False
+    if isinstance(a, TokenStream) and isinstance(b, TokenStream):
+        if not np.array_equal(a.kinds, b.kinds):
+            return False
+        if a.objs is None and b.objs is None:
+            return bool(np.array_equal(a.data, b.data))
+        # Mixed numeric/object payloads: fall through to tokenwise compare.
+    return all(token_equal(ta, tb) for ta, tb in zip(a, b))
+
+
+def as_columnar(stream: Sequence[Token]) -> "TokenStream":
+    """Coerce either representation to columnar."""
+    if isinstance(stream, TokenStream):
+        return stream
+    return TokenStream.from_tokens(stream)
+
+
+def as_token_list(stream: Sequence[Token]) -> Stream:
+    """Coerce either representation to the legacy tuple-list form."""
+    if isinstance(stream, TokenStream):
+        return stream.to_tokens()
+    return list(stream)

@@ -1,5 +1,13 @@
 """Shared pytest configuration for the tier-1 suite."""
 
+import os
+
+# The tier-1 suite runs with per-stream protocol validation on: every
+# stream produced by every simulated node is check_stream()-verified.
+# Production/benchmark runs leave this off (it is the hot-path validation
+# the debug flag gates).
+os.environ.setdefault("FUSEFLOW_DEBUG_STREAMS", "1")
+
 
 def pytest_addoption(parser):
     parser.addoption(

@@ -44,6 +44,36 @@ class TestRun:
             cli_main(["run", "--model", "gcn", *SMALL, "--par", "nonsense"])
 
 
+class TestSimulate:
+    def test_simulate_basic(self, capsys):
+        code = cli_main(["simulate", "--model", "gcn", *SMALL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycles" in out and "tokens" in out
+        assert "busiest" not in out
+
+    def test_simulate_profile_lists_busiest_nodes(self, capsys):
+        code = cli_main(
+            ["simulate", "--model", "gcn", *SMALL, "--fusion", "full",
+             "--profile", "--top", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top 5 busiest nodes" in out
+        assert "util%" in out
+        # Rows name region/node and the primitive.
+        assert "scan(" in out or "alu(" in out or "array(" in out
+
+    def test_simulate_mode_flags(self, capsys):
+        code = cli_main(
+            ["simulate", "--model", "sae", "--nodes", "16", "--profile",
+             "--legacy-streams", "--no-sim-cache", "--debug-streams"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "busiest" in out
+
+
 class TestSweepVerbs:
     def test_run_resume_report_cycle(self, capsys, tmp_path):
         out_path = str(tmp_path / "sweep.jsonl")
