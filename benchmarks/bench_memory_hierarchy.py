@@ -1,0 +1,226 @@
+"""Memory-hierarchy benchmark: fused vs unfused DRAM traffic per preset.
+
+Sweeps gcn and gpt3 across fusion granularities and memory-hierarchy
+presets (``flat`` → ``fpga-small`` → ``asic-small`` → ``asic-large``) on
+the RDA machine and reports per-level traffic: DRAM bytes, on-chip SRAM
+bytes, and the spill/fill breakdown of cross-region intermediates.
+
+The shape this asserts (the paper's fused-vs-unfused story, now with
+capacity effects visible):
+
+* On every asserted preset, the best fused schedule moves strictly less
+  DRAM traffic than unfused — fusion avoids even the on-chip hop, while
+  unfused intermediates at best land in SRAM and at worst spill.
+* Growing the buffer monotonically shrinks unfused spill traffic, closing
+  the DRAM gap — the capacity effect a flat DRAM model cannot show.
+
+The granularity *within* the fused family matters too: applying a
+hierarchy pins the operand-staging scratchpad to the SRAM capacity, so on
+the tiniest buffer (``fpga-small``, 8 KiB) fully-fused gcn's recomputation
+re-reads operands at per-access cost and partial fusion wins by a wide
+margin — the Figure-12-style sweet spot, now with a memory-system cause.
+
+Run directly to (re)generate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_memory_hierarchy.py --out BENCH_memory.json
+
+or via pytest (asserts the acceptance shape)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_memory_hierarchy.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.comal.hierarchy import HIERARCHIES
+from repro.driver import Session
+from repro.sweep import SweepPoint, build_bundle
+
+#: Model configurations sized so the larger intermediates exceed the small
+#: on-chip presets (capacity effects visible) while runs stay fast.
+MODEL_POINTS = {
+    "gcn": {"nodes": 96, "density": 0.06, "seed": 0},
+    "gpt3": {"seq_len": 16, "d_model": 8, "block": 4, "n_layers": 1, "seed": 0},
+}
+
+#: Smallest-to-largest on-chip capacity; "flat" is the DRAM-only baseline.
+HIERARCHY_ORDER = ("flat", "fpga-small", "asic-small", "asic-large")
+
+#: Presets the acceptance assertions run against (on both, the best fused
+#: schedule must strictly reduce DRAM traffic on every model).
+ASSERTED_PRESETS = ("fpga-small", "asic-small")
+
+GRANULARITIES = ("unfused", "partial", "full")
+FUSED_GRANULARITIES = ("partial", "full")
+MACHINE = "rda"
+
+
+def run_benchmark() -> Dict[str, object]:
+    rows: List[Dict[str, object]] = []
+    for model, model_args in MODEL_POINTS.items():
+        bundle = build_bundle(SweepPoint.make(model, model_args=model_args))
+        for hierarchy in HIERARCHY_ORDER:
+            session = Session(hierarchy=hierarchy)
+            for granularity in GRANULARITIES:
+                exe = session.compile(bundle.program, bundle.schedule(granularity))
+                result = exe(bundle.binding)
+                m = result.metrics
+                rows.append(
+                    {
+                        "model": model,
+                        "config": dict(model_args),
+                        "hierarchy": hierarchy,
+                        "schedule": granularity,
+                        "cycles": m.cycles,
+                        "flops": m.flops,
+                        "dram_bytes": m.dram_bytes,
+                        "sram_bytes": m.sram_bytes,
+                        "spill_bytes": m.spill_bytes,
+                        "fill_bytes": m.fill_bytes,
+                        "max_abs_err": bundle.max_abs_err(result),
+                    }
+                )
+
+    def row(model: str, hierarchy: str, schedule: str) -> Dict[str, object]:
+        return next(
+            r
+            for r in rows
+            if r["model"] == model
+            and r["hierarchy"] == hierarchy
+            and r["schedule"] == schedule
+        )
+
+    headline = {}
+    for model in MODEL_POINTS:
+        for preset in ASSERTED_PRESETS:
+            unfused = row(model, preset, "unfused")["dram_bytes"]
+            best_fused = min(
+                row(model, preset, g)["dram_bytes"] for g in FUSED_GRANULARITIES
+            )
+            key = f"{model}_{preset.replace('-', '_')}_dram_reduction"
+            headline[key] = round(unfused / best_fused, 3)
+    return {
+        "name": "memory_hierarchy",
+        "machine": MACHINE,
+        "granularities": list(GRANULARITIES),
+        "hierarchies": {
+            name: HIERARCHIES[name].describe() for name in HIERARCHY_ORDER
+        },
+        "asserted_presets": list(ASSERTED_PRESETS),
+        "rows": rows,
+        "headline": headline,
+    }
+
+
+def render(payload: Dict[str, object]) -> str:
+    lines = [
+        f"{'model':6s} {'hierarchy':12s} {'schedule':9s} {'cycles':>9s} "
+        f"{'dram':>8s} {'sram':>8s} {'spill':>8s} {'fill':>8s}"
+    ]
+    for r in payload["rows"]:
+        lines.append(
+            f"{r['model']:6s} {r['hierarchy']:12s} {r['schedule']:9s} "
+            f"{r['cycles']:9.0f} {r['dram_bytes']:8d} {r['sram_bytes']:8d} "
+            f"{r['spill_bytes']:8d} {r['fill_bytes']:8d}"
+        )
+    lines.append("")
+    for key, value in sorted(payload["headline"].items()):
+        lines.append(f"{key}: {value:.2f}x")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (acceptance shape)
+# ----------------------------------------------------------------------
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_benchmark()
+
+
+def _rows(payload, **match):
+    return [
+        r for r in payload["rows"] if all(r[k] == v for k, v in match.items())
+    ]
+
+
+def test_all_points_verified(payload):
+    """Every (model, hierarchy, schedule) point matches the dense reference."""
+    for r in payload["rows"]:
+        assert r["max_abs_err"] < 1e-6, r
+
+
+def test_fused_reduces_dram_traffic_on_presets(payload):
+    """Acceptance: best fused < unfused DRAM bytes on gcn and gpt3, >=2 presets."""
+    for model in MODEL_POINTS:
+        for preset in ASSERTED_PRESETS:
+            unfused = _rows(payload, model=model, hierarchy=preset, schedule="unfused")[0]
+            best_fused = min(
+                _rows(payload, model=model, hierarchy=preset, schedule=g)[0][
+                    "dram_bytes"
+                ]
+                for g in FUSED_GRANULARITIES
+            )
+            assert best_fused < unfused["dram_bytes"], (
+                model,
+                preset,
+                render(payload),
+            )
+
+
+def test_capacity_monotonically_reduces_spill(payload):
+    """Bigger buffers never spill more (unfused, per model)."""
+    for model in MODEL_POINTS:
+        spills = [
+            _rows(payload, model=model, hierarchy=h, schedule="unfused")[0][
+                "spill_bytes"
+            ]
+            for h in HIERARCHY_ORDER
+        ]
+        assert spills == sorted(spills, reverse=True), (model, spills)
+
+
+def test_presets_absorb_traffic_on_chip(payload):
+    """Each asserted preset serves some unfused traffic from SRAM."""
+    for model in MODEL_POINTS:
+        absorbed = [
+            _rows(payload, model=model, hierarchy=h, schedule="unfused")[0][
+                "sram_bytes"
+            ]
+            for h in ASSERTED_PRESETS
+        ]
+        assert any(v > 0 for v in absorbed), (model, absorbed)
+
+
+def test_flat_matches_pre_hierarchy_accounting(payload):
+    """Flat rows have no on-chip traffic and spill == fill-labelled DRAM."""
+    for r in _rows(payload, hierarchy="flat"):
+        assert r["sram_bytes"] == 0
+        assert r["spill_bytes"] <= r["dram_bytes"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_memory.json")
+    args = parser.parse_args(argv)
+    payload = run_benchmark()
+    print(render(payload))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,8 @@ Public API surface:
   fusion, fusion tables, scheduling, heuristic).
 * :mod:`repro.sam` — the SAM/SAMML abstract machine.
 * :mod:`repro.ftree` — fibertree sparse tensors and formats.
-* :mod:`repro.comal` — the dataflow simulator.
+* :mod:`repro.comal` — the dataflow simulator (timing models, two-level
+  memory hierarchy, metrics).
 * :mod:`repro.models` / :mod:`repro.data` — the evaluation's model zoo and
   dataset generators.
 * :mod:`repro.driver` — the compile driver: :class:`Session` (cached
@@ -18,6 +19,7 @@ Public API surface:
 """
 
 from . import comal, core, data, driver, ftree, models, sam
+from .comal.hierarchy import HIERARCHIES, HierarchySpec, resolve_hierarchy
 from .core.einsum.ast import EinsumProgram
 from .core.einsum.parser import parse_program
 from .core.schedule.schedule import (
@@ -74,4 +76,7 @@ __all__ = [
     "Executable",
     "PassPipeline",
     "CompileDiagnostics",
+    "HIERARCHIES",
+    "HierarchySpec",
+    "resolve_hierarchy",
 ]

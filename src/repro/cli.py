@@ -13,8 +13,10 @@ Examples::
     fuseflow run --model gcn --fusion partial
     fuseflow run --model gpt3 --fusion full --block 8 --par x1=4
     fuseflow simulate --model gcn --fusion partial --profile --top 8
+    fuseflow simulate --model gcn --fusion unfused --hierarchy fpga-small
     fuseflow sweep quick --model graphsage
     fuseflow sweep run --models gcn,sae --machines rda,fpga --out sweep.jsonl
+    fuseflow sweep run --models gcn,gpt3 --hierarchies flat,fpga-small,asic-large
     fuseflow sweep resume --out sweep.jsonl
     fuseflow sweep report --out sweep.jsonl --json report.json
     fuseflow estimate --model gcn
@@ -30,6 +32,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from .comal.hierarchy import HIERARCHIES, resolve_hierarchy
 from .comal.machines import MACHINES
 from .core.heuristic.model import stats_from_binding
 from .core.heuristic.prune import rank_schedules
@@ -68,7 +71,22 @@ def _build_model(args) -> ModelBundle:
 
 
 def _session(args) -> Session:
-    return Session(machine=MACHINES[args.machine])
+    return Session(
+        machine=MACHINES[args.machine],
+        hierarchy=_hierarchy_arg(args),
+    )
+
+
+def _hierarchy_arg(args):
+    """Validate the --hierarchy flag early, with a CLI-friendly error."""
+    value = getattr(args, "hierarchy", None)
+    if value is None:
+        return None
+    try:
+        resolve_hierarchy(value)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return value
 
 
 def _parse_par(specs: List[str]) -> Dict[str, int]:
@@ -93,6 +111,16 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--machine", default="rda", choices=sorted(MACHINES), help="timing model"
     )
+    parser.add_argument(
+        "--hierarchy",
+        default=None,
+        help=(
+            "memory hierarchy preset: "
+            + ", ".join(sorted(HIERARCHIES))
+            + "; append @bytes to override the SRAM capacity "
+            "(e.g. fpga-small@16384)"
+        ),
+    )
 
 
 def cmd_run(args) -> int:
@@ -109,6 +137,9 @@ def cmd_run(args) -> int:
     print(f"cycles     : {m.cycles:.0f}")
     print(f"flops      : {m.flops}")
     print(f"dram bytes : {m.dram_bytes}")
+    if m.sram_bytes or m.spill_bytes or m.fill_bytes:
+        print(f"sram bytes : {m.sram_bytes}")
+        print(f"spill/fill : {m.spill_bytes} / {m.fill_bytes}")
     print(f"op intensity: {m.operational_intensity():.3f} flops/byte")
     print(f"max |err|  : {err:.3e} (vs dense reference)")
     return 0 if err < VERIFY_TOLERANCE else 1
@@ -124,6 +155,7 @@ def cmd_simulate(args) -> int:
         columnar=False if args.legacy_streams else None,
         debug_streams=True if args.debug_streams else None,
         sim_cache=False if args.no_sim_cache else None,
+        hierarchy=_hierarchy_arg(args),
     )
     exe = session.compile(bundle.program, schedule)
     result = exe(bundle.binding)
@@ -131,9 +163,12 @@ def cmd_simulate(args) -> int:
     print(f"model      : {bundle.name}")
     print(f"schedule   : {schedule.name} ({len(schedule.regions)} regions)")
     print(f"machine    : {args.machine}")
+    print(f"hierarchy  : {session.machine.hierarchy.describe()}")
     print(f"cycles     : {m.cycles:.0f}")
     print(f"flops      : {m.flops}")
     print(f"dram bytes : {m.dram_bytes}")
+    print(f"sram bytes : {m.sram_bytes}")
+    print(f"spill/fill : {m.spill_bytes} / {m.fill_bytes}")
     print(f"tokens     : {m.tokens}")
     if args.profile:
         rows = []
@@ -160,6 +195,19 @@ def cmd_simulate(args) -> int:
                 f"{busy:10.1f} {finish:10.1f} {100 * busy / total:6.1f}  "
                 f"{gname}/{node_id} ({desc})"
             )
+        print()
+        print("memory traffic per region (bytes):")
+        print(f"{'region':24s} {'dram':>10s} {'sram':>10s} {'spill':>9s} {'fill':>9s}")
+        for region, sim in zip(exe.regions, result.region_results):
+            print(
+                f"{region.graph.name:24s} {sim.dram_bytes:10d} "
+                f"{sim.sram_bytes:10d} {sim.spill_bytes:9d} {sim.fill_bytes:9d}"
+            )
+        levels = m.traffic_by_level()
+        print(
+            f"{'total':24s} {levels['dram']:10d} {levels['sram']:10d} "
+            f"{levels['spill']:9d} {levels['fill']:9d}"
+        )
     return 0
 
 
@@ -205,6 +253,7 @@ def _sweep_spec_from_args(args) -> SweepSpec:
         datasets=_split_csv(args.datasets) if args.datasets else None,
         schedules=_split_csv(args.schedules),
         machines=_split_csv(args.machines),
+        hierarchies=_split_csv(args.hierarchies) if args.hierarchies else None,
         pipelines=pipelines,
         model_args=model_args,
         par=_parse_par(args.par),
@@ -290,7 +339,13 @@ def cmd_estimate(args) -> int:
     bundle = _build_model(args)
     stats = stats_from_binding(bundle.binding)
     schedules = bundle.schedules()
-    ranked = rank_schedules(bundle.program, schedules, stats, MACHINES[args.machine])
+    # The heuristic sees the hierarchy through the machine's (pinned)
+    # operand budget; it does not model intermediate placement.
+    machine = MACHINES[args.machine]
+    hierarchy = _hierarchy_arg(args)
+    if hierarchy is not None:
+        machine = machine.with_hierarchy(hierarchy)
+    ranked = rank_schedules(bundle.program, schedules, stats, machine)
     print(f"{'rank':>4s} {'schedule':14s} {'est cycles':>12s} {'est flops':>14s} {'est bytes':>14s}")
     for i, entry in enumerate(ranked):
         print(
@@ -390,7 +445,8 @@ def main(argv: List[str] | None = None) -> int:
     sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
 
     p_sw_run = sweep_sub.add_parser(
-        "run", help="execute a (model x dataset x schedule x machine) grid"
+        "run",
+        help="execute a (model x dataset x schedule x machine x hierarchy) grid",
     )
     p_sw_run.add_argument("--name", default="grid", help="sweep name for reports")
     p_sw_run.add_argument("--spec", help="JSON SweepSpec file (overrides grid flags)")
@@ -402,6 +458,10 @@ def main(argv: List[str] | None = None) -> int:
                           help="comma-separated fusion granularities")
     p_sw_run.add_argument("--machines", default="rda,fpga",
                           help="comma-separated timing models")
+    p_sw_run.add_argument("--hierarchies", default=None,
+                          help="comma-separated memory-hierarchy presets "
+                               "(default: flat; preset@bytes overrides SRAM "
+                               "capacity)")
     p_sw_run.add_argument("--pipeline", action="append",
                           help="comma-separated pass names; repeatable for variants")
     p_sw_run.add_argument("--baseline", default="unfused",

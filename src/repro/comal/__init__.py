@@ -2,6 +2,13 @@
 
 from .engine import SimResult, run_timed
 from .functional import FunctionalResult, run_functional
+from .hierarchy import (
+    FLAT_HIERARCHY,
+    HIERARCHIES,
+    BufferLevel,
+    HierarchySpec,
+    resolve_hierarchy,
+)
 from .machines import FPGA_MACHINE, GPU_MACHINE, MACHINES, RDA_MACHINE, Machine
 from .memory import MemoryModel
 from .metrics import ProgramMetrics, format_table, speedup_table
@@ -18,6 +25,11 @@ __all__ = [
     "GPU_MACHINE",
     "MACHINES",
     "MemoryModel",
+    "BufferLevel",
+    "HierarchySpec",
+    "HIERARCHIES",
+    "FLAT_HIERARCHY",
+    "resolve_hierarchy",
     "ProgramMetrics",
     "speedup_table",
     "format_table",

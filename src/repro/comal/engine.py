@@ -30,7 +30,15 @@ from .memory import MemoryModel
 
 @dataclass
 class SimResult:
-    """Outcome of one timed simulation of a SAMML graph."""
+    """Outcome of one timed simulation of a SAMML graph.
+
+    ``dram_bytes`` counts traffic served by the off-chip level only;
+    ``sram_bytes`` counts traffic absorbed by the on-chip buffer (zero
+    under the flat hierarchy).  ``spill_bytes``/``fill_bytes`` classify the
+    DRAM share: writes of cross-region intermediates that did not fit
+    on-chip, and the reads bringing them back.  Compulsory input/output
+    traffic is DRAM traffic that is neither spill nor fill.
+    """
 
     cycles: float
     flops: int
@@ -40,6 +48,11 @@ class SimResult:
     node_busy: Dict[str, float] = field(default_factory=dict)
     functional: Optional[FunctionalResult] = None
     machine_name: str = "rda"
+    # Per-level traffic accounting (see repro.comal.hierarchy).
+    sram_bytes: int = 0
+    spill_bytes: int = 0
+    fill_bytes: int = 0
+    hierarchy: str = "flat"
 
     @property
     def results(self) -> Dict[str, Any]:
@@ -166,7 +179,19 @@ def _timing_plan(graph: SAMGraph, order: List[str]) -> List[Tuple]:
     for node_id in order:
         node = graph.nodes[node_id]
         in_keys = tuple(src.key() for src in node.inputs.values())
-        plan.append((node_id, node.prim.timing_class(), in_keys, node))
+        # Placement metadata is written once at compile time by the
+        # place-memory pass; hand-built graphs default to flat DRAM.
+        plan.append(
+            (
+                node_id,
+                node.prim.timing_class(),
+                in_keys,
+                node,
+                node.meta.get("mem_level", "dram"),
+                node.meta.get("mem_role", "io"),
+                node.meta.get("mem_bank", 0),
+            )
+        )
     _PLAN_CACHE[graph] = (order, plan)
     return plan
 
@@ -218,6 +243,16 @@ def run_timed(
     else:
         func = functional
     mem = memory if memory is not None else machine.memory()
+    # On-chip buffer level: nodes the place-memory pass marked "sram" are
+    # paced through their bank instead of the DRAM port.  A machine without
+    # an SRAM level serves every placement from DRAM (the placement is a
+    # request, the machine is the authority).
+    hier = machine.hierarchy
+    sram = hier.sram if hier.has_sram else None
+    sram_total = 0
+    spill_total = 0
+    fill_total = 0
+    bank_bytes: Dict[int, int] = {}
 
     port_times: Dict[Tuple[str, str], Any] = {}
     node_finish: Dict[str, float] = {}
@@ -229,7 +264,15 @@ def run_timed(
     for (nid, port), stream in func.streams.items():
         streams_by_node.setdefault(nid, {})[port] = stream
 
-    for node_id, tclass, in_keys, par_node in _timing_plan(graph, func.order):
+    for (
+        node_id,
+        tclass,
+        in_keys,
+        par_node,
+        mem_level,
+        mem_role,
+        mem_bank,
+    ) in _timing_plan(graph, func.order):
         par = par_node.par_factor
         ii = machine.ii_of(tclass) / (par if par > 1 else 1)
         lat = machine.latency_of(tclass)
@@ -249,19 +292,40 @@ def run_timed(
 
         schedule = _emission_schedule(driver, max_len, ii, start)
 
-        # Pace DRAM traffic: each node streams its traffic at full device
-        # bandwidth (requests pipeline, latency overlaps); aggregate
-        # contention is enforced by the global bandwidth roofline below.
-        dram_bytes = (stats.dram_reads + stats.dram_writes) if stats else 0
-        if dram_bytes and max_len:
-            per_token = dram_bytes / max_len
-            schedule = _paced_times(schedule, per_token / mem.bandwidth, mem.latency)
-            mem.total_bytes += dram_bytes
-        elif dram_bytes:
+        # Pace memory traffic through the level this node was placed in.
+        # Each node streams at full port bandwidth (requests pipeline,
+        # latency overlaps); aggregate contention is enforced by the
+        # per-level rooflines below.
+        traffic = (stats.dram_reads + stats.dram_writes) if stats else 0
+        on_chip = traffic and sram is not None and mem_level == "sram"
+        if on_chip:
+            port_bw, port_lat = sram.bandwidth, sram.latency
+        else:
+            port_bw, port_lat = mem.bandwidth, mem.latency
+        if traffic and max_len:
+            per_token = traffic / max_len
+            schedule = _paced_times(schedule, per_token / port_bw, port_lat)
+        elif traffic:
             # No output tokens (pure writer): stream the traffic at the end.
             arrival = float(driver[-1]) if n_driver else 0.0
-            node_finish[node_id] = arrival + dram_bytes / mem.bandwidth + mem.latency
-            mem.total_bytes += dram_bytes
+            node_finish[node_id] = arrival + traffic / port_bw + port_lat
+        if traffic:
+            if on_chip:
+                sram_total += traffic
+                bank_bytes[mem_bank] = bank_bytes.get(mem_bank, 0) + traffic
+            else:
+                mem.total_bytes += traffic
+                # Classify the DRAM share of cross-region intermediates:
+                # an intermediate that did not stay on-chip is written out
+                # (spill) by its producer and read back (fill) by its
+                # consumers.  "intermediate" placements demoted here (SRAM
+                # requested, machine has none) classify by direction.
+                if mem_role == "spill" or (
+                    mem_role == "intermediate" and stats.dram_writes
+                ):
+                    spill_total += traffic
+                elif mem_role == "fill" or mem_role == "intermediate":
+                    fill_total += traffic
 
         for port, stream in out_ports.items():
             n = len(stream)
@@ -291,17 +355,24 @@ def run_timed(
         node_finish[node_id] = finish
 
     cycles = max(node_finish.values(), default=0.0)
-    # Global bandwidth roofline: all DRAM traffic shares one device.
+    # Global bandwidth rooflines: all DRAM traffic shares one device, and
+    # each SRAM bank serializes the traffic of the tensors it holds.
     cycles = max(cycles, mem.total_bytes / mem.bandwidth)
+    if sram is not None and bank_bytes:
+        cycles = max(cycles, max(bank_bytes.values()) / sram.bandwidth)
     result = SimResult(
         cycles=cycles,
         flops=func.total_ops(),
-        dram_bytes=func.total_dram_bytes(),
+        dram_bytes=func.total_dram_bytes() - sram_total,
         tokens=func.total_tokens(),
         node_finish=node_finish,
         node_busy=node_busy,
         functional=func,
         machine_name=machine.name,
+        sram_bytes=sram_total,
+        spill_bytes=spill_total,
+        fill_bytes=fill_total,
+        hierarchy=hier.name,
     )
     if tkey is not None:
         memo = graph.timed_cache

@@ -20,8 +20,14 @@ parameters.  Three machines are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Union
 
+from .hierarchy import (
+    FLAT_HIERARCHY,
+    HIERARCHIES,
+    HierarchySpec,
+    resolve_hierarchy,
+)
 from .memory import MemoryModel
 
 
@@ -41,6 +47,10 @@ class Machine:
     peak_flops_per_cycle: float = 64.0
     # On-chip scratchpad capacity for operand residency.
     scratchpad_bytes: int = 1 << 16
+    # Memory hierarchy: the flat default is the pre-hierarchy DRAM-only
+    # model; named presets add an on-chip buffer level (see
+    # repro.comal.hierarchy.HIERARCHIES and Machine.with_hierarchy).
+    hierarchy: HierarchySpec = FLAT_HIERARCHY
 
     def ii_of(self, timing_class: str) -> float:
         return self.ii.get(timing_class, self.default_ii)
@@ -54,6 +64,38 @@ class Machine:
     def scaled(self, **overrides) -> "Machine":
         """Return a copy with selected fields replaced."""
         return replace(self, **overrides)
+
+    def with_hierarchy(self, hierarchy: Union[str, HierarchySpec]) -> "Machine":
+        """A copy of this machine running a named (or explicit) hierarchy.
+
+        Accepts everything :func:`~repro.comal.hierarchy.resolve_hierarchy`
+        does: a preset name (``"fpga-small"``), a capacity-overridden preset
+        (``"fpga-small@16384"``), or a :class:`HierarchySpec`.
+
+        A hierarchy with an SRAM level also pins ``scratchpad_bytes`` (the
+        functional layer's operand-residency budget) to the same capacity:
+        the machine has exactly one on-chip storage size, so a machine
+        modeled with 8 KiB of SRAM must not keep a 64 KiB operand-staging
+        discount.  Operand staging and intermediate residency share the
+        budget rather than being jointly accounted — a documented
+        approximation (see ``docs/memory.md``).
+        """
+        spec = resolve_hierarchy(hierarchy)
+        if spec.has_sram:
+            return replace(
+                self, hierarchy=spec, scratchpad_bytes=spec.sram.capacity_bytes
+            )
+        if (
+            self.hierarchy.has_sram
+            and self.scratchpad_bytes == self.hierarchy.sram.capacity_bytes
+        ):
+            # Moving back to flat un-pins a scratchpad a previous
+            # with_hierarchy pinned, so flat-vs-flat comparisons stay
+            # bit-identical.  (A custom scratchpad set before pinning is
+            # not recoverable; the field default is the flat baseline.)
+            default = type(self).__dataclass_fields__["scratchpad_bytes"].default
+            return replace(self, hierarchy=spec, scratchpad_bytes=default)
+        return replace(self, hierarchy=spec)
 
 
 RDA_MACHINE = Machine(
@@ -152,3 +194,16 @@ GPU_MACHINE = Machine(
 )
 
 MACHINES = {m.name: m for m in (RDA_MACHINE, FPGA_MACHINE, GPU_MACHINE)}
+
+#: Re-exported hierarchy presets so machine configuration is one import:
+#: ``MACHINES["rda"].with_hierarchy("fpga-small")``.
+__all__ = [
+    "Machine",
+    "MACHINES",
+    "RDA_MACHINE",
+    "FPGA_MACHINE",
+    "GPU_MACHINE",
+    "HIERARCHIES",
+    "HierarchySpec",
+    "resolve_hierarchy",
+]

@@ -17,21 +17,36 @@ from .machines import Machine
 
 @dataclass
 class ProgramMetrics:
-    """Cycles/FLOPs/bytes accumulated over the kernels of one program."""
+    """Cycles/FLOPs/bytes accumulated over the kernels of one program.
+
+    ``dram_bytes`` counts off-chip traffic only; ``sram_bytes`` counts
+    traffic absorbed by the on-chip buffer level, and
+    ``spill_bytes``/``fill_bytes`` classify the DRAM share caused by
+    cross-region intermediates (see :mod:`repro.comal.hierarchy`).  Under
+    the flat hierarchy ``sram_bytes`` is zero and ``dram_bytes`` matches
+    the pre-hierarchy accounting exactly.
+    """
 
     label: str = "program"
     cycles: float = 0.0
     flops: int = 0
     dram_bytes: int = 0
     tokens: int = 0
+    sram_bytes: int = 0
+    spill_bytes: int = 0
+    fill_bytes: int = 0
     kernel_cycles: List[float] = field(default_factory=list)
     kernel_labels: List[str] = field(default_factory=list)
 
     def add(self, result: SimResult, label: str = "") -> None:
+        """Accumulate one kernel's :class:`SimResult` into this program."""
         self.cycles += result.cycles
         self.flops += result.flops
         self.dram_bytes += result.dram_bytes
         self.tokens += result.tokens
+        self.sram_bytes += result.sram_bytes
+        self.spill_bytes += result.spill_bytes
+        self.fill_bytes += result.fill_bytes
         self.kernel_cycles.append(result.cycles)
         self.kernel_labels.append(label or f"kernel{len(self.kernel_cycles)}")
 
@@ -40,7 +55,24 @@ class ProgramMetrics:
         return len(self.kernel_cycles)
 
     def operational_intensity(self) -> float:
+        """FLOPs per off-chip (DRAM) byte."""
         return self.flops / self.dram_bytes if self.dram_bytes else float("inf")
+
+    def traffic_by_level(self) -> Dict[str, int]:
+        """Byte traffic per memory level, plus the spill/fill breakdown.
+
+        Returns
+        -------
+        dict
+            ``{"dram": ..., "sram": ..., "spill": ..., "fill": ...}`` where
+            spill/fill are subsets of the DRAM total, not extra traffic.
+        """
+        return {
+            "dram": self.dram_bytes,
+            "sram": self.sram_bytes,
+            "spill": self.spill_bytes,
+            "fill": self.fill_bytes,
+        }
 
     def _check_cycles(self) -> None:
         if self.cycles < 0:

@@ -70,12 +70,22 @@ class FusionHeuristic:
     VALUE_BYTES = 8
     CRD_BYTES = 4
     # On-chip residency threshold, matching the simulator's scratchpad.
+    # Default mirrors Machine.scratchpad_bytes; pass the target machine's
+    # value (rank_schedules does) so hierarchy-pinned operand budgets
+    # shift the estimates the same way they shift simulated traffic.
     scratchpad_bytes = 1 << 16
 
-    def __init__(self, program: EinsumProgram, stats: Dict[str, TensorStats]) -> None:
+    def __init__(
+        self,
+        program: EinsumProgram,
+        stats: Dict[str, TensorStats],
+        scratchpad_bytes: int | None = None,
+    ) -> None:
         self.program = program
         self.stats = dict(stats)
         self.sizes = program.index_sizes()
+        if scratchpad_bytes is not None:
+            self.scratchpad_bytes = scratchpad_bytes
 
     # ------------------------------------------------------------------
     def estimate(self, schedule: Schedule | None = None) -> HeuristicEstimate:

@@ -41,7 +41,9 @@ def rank_schedules(
     machine: Machine = RDA_MACHINE,
 ) -> List[RankedSchedule]:
     """Rank candidate schedules from best (lowest score) to worst."""
-    heuristic = FusionHeuristic(program, stats)
+    heuristic = FusionHeuristic(
+        program, stats, scratchpad_bytes=machine.scratchpad_bytes
+    )
     ranked = [
         RankedSchedule(schedule=s, estimate=heuristic.estimate(s),
                        score=0.0)

@@ -10,8 +10,9 @@ This package is the redesigned public compile API:
   structured :class:`CompileDiagnostics`.
 * :class:`PassPipeline` — named, reorderable, pluggable passes
   (``fuse-regions``, ``fold-masks``, ``merge-contractions``,
-  ``lower-region``, ``parallelize``) with per-pass timings; extend via
-  :func:`register_pass` or ``pipeline.with_pass(...)``.
+  ``lower-region``, ``place-memory``, ``parallelize``) with per-pass
+  timings; extend via :func:`register_pass` or
+  ``pipeline.with_pass(...)``.
 
 The legacy :mod:`repro.pipeline` free functions remain as thin shims over
 :func:`default_session`.
@@ -34,6 +35,7 @@ from .passes import (
     Parallelize,
     Pass,
     PassContext,
+    PlaceMemory,
     RegionState,
     register_pass,
 )
@@ -60,6 +62,7 @@ __all__ = [
     "FoldMasks",
     "MergeContractions",
     "LowerRegion",
+    "PlaceMemory",
     "Parallelize",
     "CompileDiagnostics",
     "RegionDiagnostics",

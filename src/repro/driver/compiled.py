@@ -55,9 +55,11 @@ class CompiledProgram:
     )
 
     def total_nodes(self) -> int:
+        """Total SAMML node count across all lowered regions."""
         return sum(r.graph.node_count() for r in self.regions if r.graph)
 
     def describe(self) -> str:
+        """Multi-line summary: per-region orders, node counts, outputs."""
         lines = [
             f"compiled {self.program.name} under {self.schedule.name}: "
             f"{len(self.regions)} region(s), {self.total_nodes()} nodes, "
@@ -77,13 +79,24 @@ class CompiledProgram:
 
 @dataclass
 class ProgramResult:
-    """Outcome of executing a compiled program."""
+    """Outcome of executing a compiled program.
+
+    Attributes
+    ----------
+    metrics:
+        Program-level accumulation (cycles, FLOPs, per-level bytes).
+    tensors:
+        Every tensor materialized during execution, by name.
+    region_results:
+        One :class:`~repro.comal.engine.SimResult` per region, in order.
+    """
 
     metrics: ProgramMetrics
     tensors: Dict[str, SparseTensor]
     region_results: List[SimResult] = field(default_factory=list)
 
     def output(self, name: str) -> SparseTensor:
+        """The materialized tensor called ``name`` (KeyError if absent)."""
         return self.tensors[name]
 
 
@@ -98,10 +111,28 @@ def execute_compiled(
 ) -> ProgramResult:
     """Run all region graphs in order, chaining materialized outputs.
 
-    ``columnar``/``debug_streams``/``cache`` select the stream
-    representation, per-stream protocol checking, and result memoization of
-    the underlying simulations (``None`` = environment defaults; see
-    :mod:`repro.comal.functional`).
+    Parameters
+    ----------
+    compiled:
+        The compiled program (every region must carry a lowered graph).
+    binding:
+        Tensor name -> tensor for the program's inputs; region outputs
+        are bound as they materialize.
+    machine:
+        Timing model (and memory hierarchy) the regions simulate on.
+    columnar, debug_streams, cache:
+        Stream representation, per-stream protocol checking, and result
+        memoization of the underlying simulations (``None`` = environment
+        defaults; see :mod:`repro.comal.functional`).
+
+    Returns
+    -------
+    ProgramResult
+
+    Raises
+    ------
+    RuntimeError
+        If a region was never lowered (pipeline missing ``lower-region``).
     """
     bind: Dict[str, Any] = dict(binding)
     metrics = ProgramMetrics(label=compiled.schedule.name)

@@ -32,6 +32,12 @@ class RegionDiagnostics:
     node_count: int = 0
     # Views resolved by materializing a permuted copy (POG cycle breaks).
     transposed_views: int = 0
+    # Memory placement (place-memory pass): nodes served by the on-chip
+    # buffer, region outputs that spilled to DRAM, and the cumulative
+    # on-chip bytes reserved after this region compiled.
+    sram_placed: int = 0
+    spilled_outputs: int = 0
+    sram_reserved: int = 0
     # Passes that ran but decided they did not apply, with a reason.
     skipped_passes: Dict[str, str] = field(default_factory=dict)
 
@@ -65,6 +71,7 @@ class CompileDiagnostics:
         return out
 
     def describe(self) -> str:
+        """Multi-line rendering: per-pass timings, then per-region stats."""
         lines = [
             f"compile diagnostics for {self.program} under {self.schedule}: "
             f"{len(self.regions)} region(s), {self.compile_seconds * 1e3:.1f} ms"
@@ -82,6 +89,13 @@ class CompileDiagnostics:
                 bits.append("pinned order")
             if region.transposed_views:
                 bits.append(f"{region.transposed_views} permuted copy(ies)")
+            if region.sram_placed:
+                bits.append(
+                    f"{region.sram_placed} node(s) on-chip "
+                    f"({region.sram_reserved} B reserved)"
+                )
+            if region.spilled_outputs:
+                bits.append(f"{region.spilled_outputs} output(s) spilled")
             if region.skipped_passes:
                 bits.append(f"skipped {sorted(region.skipped_passes)}")
             lines.append(f"  region {region.name}: " + ", ".join(bits))

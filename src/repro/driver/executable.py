@@ -26,7 +26,22 @@ from .diagnostics import CompileDiagnostics
 
 
 class Executable:
-    """A compiled program plus the machine it will simulate on."""
+    """A compiled program plus the machine it will simulate on.
+
+    Parameters
+    ----------
+    compiled:
+        The region graphs and declaration registry from the pipeline.
+    machine:
+        Default timing model for executions (overridable per call).
+    diagnostics:
+        Structured record of what the pipeline did while compiling.
+    fingerprint:
+        The Session cache key this executable was stored under.
+    columnar, debug_streams, sim_cache:
+        Simulation options inherited from the Session (``None`` = the
+        environment defaults).
+    """
 
     def __init__(
         self,
@@ -53,18 +68,22 @@ class Executable:
     # ------------------------------------------------------------------
     @property
     def program(self) -> EinsumProgram:
+        """The Einsum program this executable was compiled from."""
         return self.compiled.program
 
     @property
     def schedule(self) -> Schedule:
+        """The schedule it was compiled under."""
         return self.compiled.schedule
 
     @property
     def regions(self) -> List[CompiledRegion]:
+        """The compiled fusion regions, in execution order."""
         return self.compiled.regions
 
     @property
     def decls(self) -> Dict[str, TensorDecl]:
+        """Declaration registry including materialized region outputs."""
         return self.compiled.decls
 
     def describe(self) -> str:
@@ -85,7 +104,26 @@ class Executable:
         machine: Optional[Machine] = None,
         **tensors: SparseTensor,
     ) -> ProgramResult:
-        """Simulate on ``binding`` (and/or tensors by keyword)."""
+        """Simulate on ``binding`` (and/or tensors by keyword).
+
+        Parameters
+        ----------
+        binding:
+            Tensor name -> :class:`~repro.ftree.tensor.SparseTensor`.
+        machine:
+            Per-call timing-model override.  Placement metadata baked in
+            at compile time is a *request*: a machine without an SRAM
+            level serves every placement from DRAM.
+        **tensors:
+            Individual tensors by keyword, merged over ``binding``.
+
+        Returns
+        -------
+        ProgramResult
+            Program metrics (incl. per-level memory traffic), per-region
+            :class:`~repro.comal.engine.SimResult` list, and the
+            materialized output tensors.
+        """
         bind: Dict[str, SparseTensor] = dict(binding or {})
         bind.update(tensors)
         return execute_compiled(

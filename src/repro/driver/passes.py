@@ -17,8 +17,13 @@ what it did in the region's diagnostics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Dict, List, Optional, Tuple, Type, Union
 
+from ..comal.hierarchy import (
+    HierarchySpec,
+    dense_estimate_bytes,
+    resolve_hierarchy,
+)
 from ..core.einsum.ast import EinsumProgram, TensorDecl
 from ..core.fusion.fuse import (
     FusedEinsum,
@@ -51,13 +56,34 @@ class RegionState:
 
 @dataclass
 class PassContext:
-    """Shared state: the program, schedule, and growing declaration set."""
+    """Shared state: the program, schedule, and growing declaration set.
+
+    Attributes
+    ----------
+    program:
+        The Einsum program being compiled.
+    schedule:
+        The schedule driving fusion/ordering/parallelization decisions.
+    decls:
+        Starts as the program's declarations; lowering appends materialized
+        region outputs so later regions see their shapes and formats.
+    placements:
+        Tensor name -> memory level (``"sram"``/``"dram"``) decided by the
+        ``place-memory`` pass when the producing region was compiled;
+        consuming regions look their operands up here.
+    sram_reserved:
+        Bytes of on-chip buffer capacity already granted to resident
+        intermediates (the allocation is program-lifetime: regions execute
+        back to back and resident tensors persist across the boundary).
+    """
 
     program: EinsumProgram
     schedule: Schedule
     # Starts as the program's declarations; lowering appends materialized
     # region outputs so later regions see their shapes and formats.
     decls: Dict[str, TensorDecl] = field(default_factory=dict)
+    placements: Dict[str, str] = field(default_factory=dict)
+    sram_reserved: int = 0
 
 
 class Pass:
@@ -73,6 +99,17 @@ class Pass:
         return ()
 
     def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Apply this pass to one region.
+
+        Parameters
+        ----------
+        ctx:
+            Shared :class:`PassContext` (program, schedule, declarations,
+            placement state).
+        region:
+            The :class:`RegionState` to mutate; record decisions in
+            ``region.diag``.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -84,7 +121,23 @@ PASS_REGISTRY: Dict[str, Type[Pass]] = {}
 
 
 def register_pass(cls: Type[Pass]) -> Type[Pass]:
-    """Class decorator adding a pass to :data:`PASS_REGISTRY`."""
+    """Class decorator adding a pass to :data:`PASS_REGISTRY`.
+
+    Parameters
+    ----------
+    cls:
+        A :class:`Pass` subclass with a unique ``name``.
+
+    Returns
+    -------
+    type
+        ``cls`` unchanged, so the decorator stacks.
+
+    Raises
+    ------
+    ValueError
+        If a pass with the same name is already registered.
+    """
     if cls.name in PASS_REGISTRY:
         raise ValueError(f"pass {cls.name!r} registered twice")
     PASS_REGISTRY[cls.name] = cls
@@ -98,6 +151,7 @@ class FuseRegions(Pass):
     name = "fuse-regions"
 
     def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Fuse the region's statements into one ``FusedEinsum``."""
         region.fused = fuse_region(
             ctx.program,
             region.sids,
@@ -120,6 +174,7 @@ class FoldMasks(Pass):
     requires = ("fused",)
 
     def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Fold masks when the schedule allows and the region is fused."""
         if not ctx.schedule.fold_masks:
             region.diag.skipped_passes[self.name] = "disabled by schedule"
         elif len(region.sids) < 2:
@@ -137,6 +192,7 @@ class MergeContractions(Pass):
     requires = ("fused",)
 
     def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Apply the global-iteration rewrite when the schedule asks for it."""
         if not ctx.schedule.global_rewrite:
             region.diag.skipped_passes[self.name] = "schedule has no global rewrite"
         elif len(region.sids) < 2:
@@ -162,12 +218,15 @@ class LowerRegion(Pass):
     requires = ("fused",)
 
     def __init__(self, max_attempts: int = 200) -> None:
+        """``max_attempts`` caps the dataflow orders tried per region."""
         self.max_attempts = max_attempts
 
     def config(self) -> Tuple:
+        """The order-attempt cap (part of the pipeline fingerprint)."""
         return (self.max_attempts,)
 
     def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Lower the fused region to a SAMML graph, falling back on orders."""
         pinned = ctx.schedule.orders.get(region.position)
         lowerer, graph, order = self._lower_with_fallback(region, ctx.decls, pinned)
         region.graph = graph
@@ -235,6 +294,126 @@ class LowerRegion(Pass):
 
 
 @register_pass
+class PlaceMemory(Pass):
+    """Decide, per memory-touching node, which hierarchy level serves it.
+
+    Runs after ``lower-region``: the region's SAMML graph exists, so every
+    scanner/locate/array/writer node can be annotated with the level of the
+    tensor it touches (``node.meta["mem_level"]``), its traffic role
+    (``mem_role``), and — for on-chip placements — a bank assignment
+    (``mem_bank``).  The timed engine reads these annotations to pace each
+    node's traffic through the right level (see
+    :mod:`repro.comal.hierarchy`).
+
+    Placement policy (the paper's fused-vs-unfused story made explicit):
+
+    * Streams inside a fused region never materialize — nothing to place.
+    * A region output consumed by a *later* region is a cross-region
+      intermediate: it stays in the on-chip buffer if its dense-estimate
+      footprint still fits in the remaining capacity, and **spills** to
+      DRAM otherwise.  Reads of a spilled intermediate are **fills**.
+    * Program inputs and final outputs always live in DRAM (they must
+      cross the chip boundary regardless of fusion).
+
+    Parameters
+    ----------
+    hierarchy:
+        Preset name, ``"preset@capacity"`` override, or
+        :class:`~repro.comal.hierarchy.HierarchySpec`.  The flat default
+        reproduces the pre-hierarchy simulator (everything spills), while
+        still labelling cross-region traffic as spill/fill for reporting.
+    """
+
+    name = "place-memory"
+    requires = ("graph",)
+
+    def __init__(self, hierarchy: Union[str, HierarchySpec] = "flat") -> None:
+        """``hierarchy`` is resolved eagerly so bad names fail at build time."""
+        self.hierarchy = resolve_hierarchy(hierarchy)
+
+    def config(self) -> Tuple:
+        """The hierarchy parameterization (part of the pipeline fingerprint)."""
+        return self.hierarchy.config()
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Annotate the region's memory-touching nodes with level/role/bank."""
+        hier = self.hierarchy
+        program_outputs = set(ctx.program.outputs())
+        consumed_later = self._consumed_later(ctx, region.position)
+        placed_sram = 0
+        spilled = 0
+        for node in region.graph.nodes.values():
+            prim = node.prim
+            if not prim.touches_dram():
+                continue
+            tensor_name = getattr(prim, "tensor_name", None)
+            if tensor_name is None:
+                continue
+            if prim.kind == "write":
+                level, role = self._place_output(
+                    ctx, hier, prim, tensor_name, program_outputs, consumed_later
+                )
+                if role == "spill":
+                    spilled += 1
+            else:
+                # Readers inherit the level their tensor was placed in when
+                # its producer region compiled; unplaced names are program
+                # inputs living in DRAM.
+                src = ctx.placements.get(tensor_name)
+                if src == "sram":
+                    level, role = "sram", "intermediate"
+                elif src == "dram":
+                    level, role = "dram", "fill"
+                else:
+                    level, role = "dram", "input"
+            node.meta["mem_level"] = level
+            node.meta["mem_role"] = role
+            if level == "sram":
+                node.meta["mem_bank"] = hier.sram.bank_of(tensor_name)
+                placed_sram += 1
+        region.diag.sram_placed = placed_sram
+        region.diag.spilled_outputs = spilled
+        region.diag.sram_reserved = ctx.sram_reserved
+        if not hier.has_sram:
+            region.diag.skipped_passes[self.name] = (
+                "flat hierarchy: no on-chip level, all placements DRAM"
+            )
+
+    @staticmethod
+    def _consumed_later(ctx: PassContext, position: int) -> set:
+        """Tensor names read by statements in regions after ``position``."""
+        later: set = set()
+        for sids in ctx.schedule.regions[position + 1 :]:
+            for sid in sids:
+                for acc in ctx.program.statements[sid].operands:
+                    later.add(acc.tensor)
+        return later
+
+    def _place_output(
+        self,
+        ctx: PassContext,
+        hier: HierarchySpec,
+        prim,
+        tensor_name: str,
+        program_outputs: set,
+        consumed_later: set,
+    ) -> Tuple[str, str]:
+        """Place one writer's tensor; returns (level, role)."""
+        if tensor_name in program_outputs or tensor_name not in consumed_later:
+            return "dram", "output"
+        estimate = dense_estimate_bytes(prim.shape, getattr(prim, "fmt", None))
+        if (
+            hier.has_sram
+            and ctx.sram_reserved + estimate <= hier.sram.capacity_bytes
+        ):
+            ctx.sram_reserved += estimate
+            ctx.placements[tensor_name] = "sram"
+            return "sram", "intermediate"
+        ctx.placements[tensor_name] = "dram"
+        return "dram", "spill"
+
+
+@register_pass
 class Parallelize(Pass):
     """Duplicate compute lanes per the schedule's parallelization factors."""
 
@@ -242,6 +421,7 @@ class Parallelize(Pass):
     requires = ("graph", "order")
 
     def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Apply the schedule's parallelization factors to the graph."""
         applied = False
         for index_var, factor in ctx.schedule.par.items():
             if index_var in region.order:

@@ -21,12 +21,15 @@ from .compiled import CompiledRegion
 from .diagnostics import CompileDiagnostics, RegionDiagnostics
 from .passes import PASS_REGISTRY, Pass, PassContext, RegionState
 
-#: The seed-equivalent compile flow (paper Figure 6).
+#: The standard compile flow (paper Figure 6 plus memory placement):
+#: placement runs right after lowering so every materialized edge gets a
+#: hierarchy level before parallelization retimes the compute lanes.
 DEFAULT_PASS_ORDER: Tuple[str, ...] = (
     "fuse-regions",
     "fold-masks",
     "merge-contractions",
     "lower-region",
+    "place-memory",
     "parallelize",
 )
 
@@ -55,7 +58,19 @@ class PassPipeline:
 
     @classmethod
     def from_names(cls, names: Sequence[str]) -> "PassPipeline":
-        """Build a pipeline of registered passes by name."""
+        """Build a pipeline of registered passes by name.
+
+        Parameters
+        ----------
+        names:
+            Pass names, in execution order; each must be registered in
+            :data:`~repro.driver.passes.PASS_REGISTRY`.
+
+        Raises
+        ------
+        PipelineError
+            For unknown or duplicate names.
+        """
         missing = [n for n in names if n not in PASS_REGISTRY]
         if missing:
             raise PipelineError(
@@ -65,10 +80,17 @@ class PassPipeline:
         return cls([PASS_REGISTRY[n]() for n in names])
 
     def names(self) -> List[str]:
+        """Pass names in execution order."""
         return [p.name for p in self.passes]
 
     def without(self, *names: str) -> "PassPipeline":
-        """A new pipeline with the named passes removed."""
+        """A new pipeline with the named passes removed.
+
+        Raises
+        ------
+        PipelineError
+            If any name is not in this pipeline.
+        """
         self._check_known(names)
         return PassPipeline([p for p in self.passes if p.name not in names])
 
@@ -78,7 +100,20 @@ class PassPipeline:
         before: Optional[str] = None,
         after: Optional[str] = None,
     ) -> "PassPipeline":
-        """A new pipeline with ``new_pass`` inserted (appended by default)."""
+        """A new pipeline with ``new_pass`` inserted (appended by default).
+
+        Parameters
+        ----------
+        new_pass:
+            The pass instance to insert.
+        before, after:
+            Anchor pass name; give at most one.
+
+        Returns
+        -------
+        PassPipeline
+            The extended pipeline; this one is unchanged.
+        """
         if before is not None and after is not None:
             raise PipelineError("give at most one of before/after")
         anchor = before if before is not None else after
@@ -87,6 +122,33 @@ class PassPipeline:
         self._check_known((anchor,))
         index = self.names().index(anchor) + (0 if before is not None else 1)
         return PassPipeline([*self.passes[:index], new_pass, *self.passes[index:]])
+
+    def with_hierarchy(self, hierarchy) -> "PassPipeline":
+        """A new pipeline whose ``place-memory`` pass uses ``hierarchy``.
+
+        Parameters
+        ----------
+        hierarchy:
+            Anything :func:`repro.comal.hierarchy.resolve_hierarchy`
+            accepts (preset name, ``"preset@bytes"``, or a spec).
+
+        Returns
+        -------
+        PassPipeline
+            A copy with the existing ``place-memory`` pass replaced by one
+            configured for ``hierarchy`` — or, if this pipeline has no
+            placement pass, with one appended after ``lower-region``.
+        """
+        from .passes import PlaceMemory
+
+        new_pass = PlaceMemory(hierarchy)
+        if "place-memory" in self.names():
+            return PassPipeline(
+                [new_pass if p.name == "place-memory" else p for p in self.passes]
+            )
+        if "lower-region" in self.names():
+            return self.with_pass(new_pass, after="lower-region")
+        return self.with_pass(new_pass)
 
     def reordered(self, names: Sequence[str]) -> "PassPipeline":
         """A new pipeline running this one's passes in the given order."""
@@ -119,7 +181,23 @@ class PassPipeline:
     def run(
         self, program: EinsumProgram, schedule: Schedule
     ) -> Tuple[List[CompiledRegion], Dict[str, TensorDecl], CompileDiagnostics]:
-        """Compile every region of ``schedule``; returns regions + decls + diagnostics."""
+        """Compile every region of ``schedule`` through the pass list.
+
+        Parameters
+        ----------
+        program:
+            The (validated) Einsum program.
+        schedule:
+            The schedule whose regions drive the region-by-region flow.
+
+        Returns
+        -------
+        tuple
+            ``(regions, decls, diagnostics)``: one
+            :class:`~repro.driver.compiled.CompiledRegion` per fusion
+            region, the grown declaration registry, and the structured
+            :class:`~repro.driver.diagnostics.CompileDiagnostics`.
+        """
         program.validate()
         schedule.validate(program)
         diagnostics = CompileDiagnostics(

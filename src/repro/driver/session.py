@@ -17,6 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..comal.hierarchy import resolve_hierarchy
 from ..comal.machines import Machine, RDA_MACHINE
 from ..core.einsum.ast import EinsumProgram
 from ..core.schedule.schedule import Schedule, unfused
@@ -46,7 +47,39 @@ class CacheInfo:
 
 
 class Session:
-    """Compile-and-run context with a fingerprint-keyed executable cache."""
+    """Compile-and-run context with a fingerprint-keyed executable cache.
+
+    Parameters
+    ----------
+    machine:
+        Timing model simulations run on (default: the RDA machine).
+    pipeline:
+        Compile pass pipeline; default is :meth:`PassPipeline.default`.
+    cache_size:
+        Maximum cached executables (LRU eviction).
+    columnar, debug_streams, sim_cache:
+        Simulation options threaded into every executable this session
+        compiles: stream representation (columnar numpy kernels vs legacy
+        tuple lists), per-stream protocol checking, and functional/timed
+        result memoization.  ``None`` defers to the environment defaults
+        (``FUSEFLOW_LEGACY_STREAMS`` / ``FUSEFLOW_DEBUG_STREAMS`` /
+        ``FUSEFLOW_NO_SIM_CACHE``).
+    hierarchy:
+        Memory hierarchy: a preset name (``"fpga-small"``),
+        ``"preset@capacity_bytes"``, or a
+        :class:`~repro.comal.hierarchy.HierarchySpec`.  Configures the
+        machine (timed engine + scratchpad budget, via
+        :meth:`Machine.with_hierarchy`) and the pipeline's ``place-memory``
+        pass so they agree; ``None`` inherits the machine's.  A supplied
+        pipeline *without* a ``place-memory`` pass is left alone — that is
+        the placement ablation, and the SRAM level then simply goes
+        unused.
+
+    Raises
+    ------
+    ValueError
+        If ``cache_size < 1`` or the hierarchy cannot be resolved.
+    """
 
     def __init__(
         self,
@@ -56,11 +89,29 @@ class Session:
         columnar: Optional[bool] = None,
         debug_streams: Optional[bool] = None,
         sim_cache: Optional[bool] = None,
+        hierarchy: Optional[object] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be positive")
+        # Memory hierarchy: keep the machine (which the timed engine reads)
+        # and the place-memory pass (which decides placements at compile
+        # time) in agreement.  ``hierarchy`` accepts a preset name,
+        # "preset@capacity_bytes", or a HierarchySpec; None inherits
+        # whatever hierarchy the machine already carries.  An explicitly
+        # supplied pipeline *without* a place-memory pass is respected —
+        # that is the placement ablation — so the pass is configured where
+        # present, never force-inserted.
+        if hierarchy is not None:
+            spec = resolve_hierarchy(hierarchy)
+            if spec is not machine.hierarchy:
+                machine = machine.with_hierarchy(spec)
+        else:
+            spec = machine.hierarchy
+        pipeline = pipeline or PassPipeline.default()
+        if spec.has_sram and "place-memory" in pipeline.names():
+            pipeline = pipeline.with_hierarchy(spec)
         self.machine = machine
-        self.pipeline = pipeline or PassPipeline.default()
+        self.pipeline = pipeline
         self.cache_size = cache_size
         #: Simulation options threaded into every executable this session
         #: compiles: stream representation (columnar numpy kernels vs legacy
@@ -81,6 +132,14 @@ class Session:
     def cache_key(
         self, program: EinsumProgram, schedule: Schedule
     ) -> CacheKey:
+        """The compile-cache key: canonical content fingerprints.
+
+        Returns
+        -------
+        tuple of str
+            ``(program.fingerprint(), schedule.fingerprint(),
+            pipeline.fingerprint())`` — every input the compiler reads.
+        """
         return (
             program.fingerprint(),
             schedule.fingerprint(),
@@ -90,7 +149,22 @@ class Session:
     def compile(
         self, program: EinsumProgram, schedule: Optional[Schedule] = None
     ) -> Executable:
-        """Compile ``program`` under ``schedule`` (default: unfused), cached."""
+        """Compile ``program`` under ``schedule`` (default: unfused), cached.
+
+        Parameters
+        ----------
+        program:
+            The Einsum program to compile.
+        schedule:
+            Fusion/ordering/parallelization schedule; ``None`` compiles
+            unfused (one region per statement).
+
+        Returns
+        -------
+        Executable
+            Callable on bindings; fingerprint-identical compiles return
+            the *same* object at dictionary-lookup cost.
+        """
         schedule = schedule or unfused(program)
         key = self.cache_key(program, schedule)
         cached = self._cache.get(key)
@@ -133,7 +207,22 @@ class Session:
         schedule: Optional[Schedule] = None,
         machine: Optional[Machine] = None,
     ) -> ProgramResult:
-        """Compile (cached) and execute in one call."""
+        """Compile (cached) and execute in one call.
+
+        Parameters
+        ----------
+        program, schedule:
+            Forwarded to :meth:`compile`.
+        binding:
+            Tensor name -> :class:`~repro.ftree.tensor.SparseTensor`.
+        machine:
+            Per-call machine override; ``None`` uses the session's.
+
+        Returns
+        -------
+        ProgramResult
+            Metrics plus the materialized output tensors.
+        """
         return self.compile(program, schedule)(binding, machine=machine)
 
     def compare_schedules(
@@ -143,7 +232,13 @@ class Session:
         schedules: Sequence[Schedule],
         machine: Optional[Machine] = None,
     ) -> Dict[str, ProgramResult]:
-        """Run the program under several schedules (fusion sweeps)."""
+        """Run the program under several schedules (fusion sweeps).
+
+        Returns
+        -------
+        dict
+            Schedule name -> :class:`ProgramResult`, one per schedule.
+        """
         return {
             run.schedule.name: run.result
             for run in sweep_schedules(self, program, binding, schedules, machine)
@@ -153,6 +248,7 @@ class Session:
     # Cache management
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
+        """Snapshot of the compile-cache counters (hits/misses/entries)."""
         return CacheInfo(
             hits=self._hits,
             misses=self._misses,
@@ -161,6 +257,7 @@ class Session:
         )
 
     def clear_cache(self) -> None:
+        """Drop every cached executable and reset the hit/miss counters."""
         self._cache.clear()
         self._hits = 0
         self._misses = 0

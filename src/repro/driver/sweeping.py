@@ -27,6 +27,7 @@ class ScheduleRun:
 
     @property
     def cycles(self) -> float:
+        """Total simulated cycles of this run (the sweep's rank key)."""
         return self.result.metrics.cycles
 
 
@@ -41,10 +42,31 @@ def sweep_schedules(
 ) -> List[ScheduleRun]:
     """Run ``program`` under each schedule via ``session`` (compile-cached).
 
-    ``limit`` caps the number of *successful* runs (the autotuner's
-    simulate-top-k budget: infeasible candidates don't consume budget);
-    ``skip_errors`` drops schedules that fail to compile or execute instead
-    of raising (an unfused fallback always exists in the candidate space).
+    Parameters
+    ----------
+    session:
+        Any session-like object with ``run(program, binding, schedule,
+        machine)``; compiles are served from its cache.
+    program:
+        The Einsum program to sweep.
+    binding:
+        Tensor name -> tensor, shared by every run.
+    schedules:
+        Schedules to execute, in order.
+    machine:
+        Per-run machine override (``None`` uses the session's).
+    limit:
+        Caps the number of *successful* runs (the autotuner's
+        simulate-top-k budget: infeasible candidates don't consume
+        budget).
+    skip_errors:
+        Drop schedules that fail to compile or execute instead of raising
+        (an unfused fallback always exists in the candidate space).
+
+    Returns
+    -------
+    list of ScheduleRun
+        One entry per successful schedule, in input order.
     """
     runs: List[ScheduleRun] = []
     for schedule in schedules:

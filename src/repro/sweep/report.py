@@ -16,15 +16,17 @@ from typing import Dict, List, Optional, Tuple
 
 from ..comal.metrics import format_table
 
-GroupKey = Tuple[str, str, str, str]
+GroupKey = Tuple[str, str, str, str, str]
 
 
 def _group_key(record: Dict[str, object]) -> GroupKey:
+    """Speedup grouping: everything but the schedule must match."""
     point = record["point"]
     return (
         point["model"],
         point["dataset"],
         point["machine"],
+        point.get("hierarchy", "flat"),
         "+".join(point["pipeline"]),
     )
 
@@ -38,7 +40,26 @@ def summarize(
     baseline_schedule: str = "unfused",
     name: str = "sweep",
 ) -> Dict[str, object]:
-    """Aggregate result records into the report/JSON summary structure."""
+    """Aggregate result records into the report/JSON summary structure.
+
+    Parameters
+    ----------
+    records:
+        Per-point result records (:func:`~repro.sweep.runner.run_point`
+        output / :meth:`~repro.sweep.store.ResultStore.records`).
+    baseline_schedule:
+        The schedule speedups are computed against, within each
+        (model, dataset, machine, hierarchy, pipeline) group.
+    name:
+        Sweep name echoed into the summary.
+
+    Returns
+    -------
+    dict
+        ``points_ok``/``points_failed``/``verified``, ``best_per_model``,
+        per-group ``speedups``, ``utilization`` rows, ``failures``, and
+        the ok ``results``.
+    """
     ok = _ok(records)
     failed = [r for r in records if r.get("status") != "ok"]
 
@@ -73,7 +94,8 @@ def summarize(
             "model": key[0],
             "dataset": key[1],
             "machine": key[2],
-            "pipeline": key[3],
+            "hierarchy": key[3],
+            "pipeline": key[4],
             "cycles": cycles_by_schedule,
             "baseline": baseline_schedule,
             "speedup": {
@@ -145,10 +167,13 @@ def render_summary(summary: Dict[str, object]) -> str:
     if summary["speedups"]:
         rows = []
         for entry in summary["speedups"]:
+            group = f"{entry['model']}/{entry['dataset']}/{entry['machine']}"
+            if entry.get("hierarchy", "flat") != "flat":
+                group += f"/{entry['hierarchy']}"
             for schedule, speedup in sorted(entry["speedup"].items()):
                 rows.append(
                     [
-                        f"{entry['model']}/{entry['dataset']}/{entry['machine']}",
+                        group,
                         schedule,
                         f"{entry['cycles'][schedule]:.0f}",
                         "-" if speedup is None else f"{speedup:.2f}x",
@@ -171,6 +196,7 @@ def render_summary(summary: Dict[str, object]) -> str:
 
 
 def write_summary_json(summary: Dict[str, object], path: str) -> None:
+    """Write a :func:`summarize` result to ``path`` as pretty JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -194,6 +220,9 @@ def bench_payload(summary: Dict[str, object]) -> Dict[str, object]:
                 "extra": {
                     "flops": r["metrics"]["flops"],
                     "dram_bytes": r["metrics"]["dram_bytes"],
+                    "sram_bytes": r["metrics"].get("sram_bytes", 0),
+                    "spill_bytes": r["metrics"].get("spill_bytes", 0),
+                    "fill_bytes": r["metrics"].get("fill_bytes", 0),
                     "tokens": r["metrics"]["tokens"],
                     "point_id": r["point_id"],
                 },
@@ -204,7 +233,13 @@ def bench_payload(summary: Dict[str, object]) -> Dict[str, object]:
 
 
 def write_bench_json(summary: Dict[str, object], path: Optional[str] = None) -> str:
-    """Write the BENCH payload; default path is ``BENCH_sweep_<name>.json``."""
+    """Write the BENCH payload; default path is ``BENCH_sweep_<name>.json``.
+
+    Returns
+    -------
+    str
+        The path written, for logging.
+    """
     path = path or f"BENCH_sweep_{summary['name']}.json"
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(bench_payload(summary), fh, indent=2, sort_keys=True)

@@ -52,18 +52,22 @@ __all__ = [
 # Per-process caches.  In a worker process these live for the pool's
 # lifetime, so every point handed to that worker shares compile work via
 # the Session cache and tracing work via the bundle cache.
-_SESSIONS: Dict[Tuple[str, Tuple[str, ...]], Session] = {}
+_SESSIONS: Dict[Tuple[str, Tuple[str, ...], str], Session] = {}
 _BUNDLES: Dict[Tuple[str, str, Tuple[Tuple[str, object], ...]], object] = {}
 
 
-def _session_for(machine: str, pipeline: Tuple[str, ...]) -> Session:
-    key = (machine, tuple(pipeline))
+def _session_for(
+    machine: str, pipeline: Tuple[str, ...], hierarchy: str = "flat"
+) -> Session:
+    """The per-process Session for one (machine, pipeline, hierarchy)."""
+    key = (machine, tuple(pipeline), hierarchy)
     session = _SESSIONS.get(key)
     if session is None:
         session = Session(
             machine=MACHINES[machine],
             pipeline=PassPipeline.from_names(pipeline),
             cache_size=1024,
+            hierarchy=hierarchy,
         )
         _SESSIONS[key] = session
     return session
@@ -79,7 +83,23 @@ def _bundle_for(point: SweepPoint):
 
 
 def run_point(point: SweepPoint) -> Dict[str, object]:
-    """Execute one sweep point; never raises — failures become records."""
+    """Execute one sweep point; never raises — failures become records.
+
+    Parameters
+    ----------
+    point:
+        The experiment to run; bundle and session come from the
+        per-process caches.
+
+    Returns
+    -------
+    dict
+        A JSON-safe result record: ``status`` (``"ok"``/``"error"``),
+        ``metrics`` (cycles, FLOPs, per-level memory traffic,
+        utilizations), ``max_abs_err`` vs the dense reference,
+        fingerprints, and cache/timing metadata.  A point that executes
+        but disagrees with the reference is an ``"error"`` record.
+    """
     from ..models.common import VERIFY_TOLERANCE
 
     started = time.perf_counter()
@@ -92,7 +112,7 @@ def run_point(point: SweepPoint) -> Dict[str, object]:
     }
     try:
         bundle = _bundle_for(point)
-        session = _session_for(point.machine, point.pipeline)
+        session = _session_for(point.machine, point.pipeline, point.hierarchy)
         schedule = bundle.schedule(point.schedule)
         schedule.par = dict(point.par)
         before = session.cache_info()
@@ -113,6 +133,9 @@ def run_point(point: SweepPoint) -> Dict[str, object]:
                     "cycles": metrics.cycles,
                     "flops": metrics.flops,
                     "dram_bytes": metrics.dram_bytes,
+                    "sram_bytes": metrics.sram_bytes,
+                    "spill_bytes": metrics.spill_bytes,
+                    "fill_bytes": metrics.fill_bytes,
                     "tokens": metrics.tokens,
                     "num_kernels": metrics.num_kernels,
                     "operational_intensity": metrics.operational_intensity(),
@@ -176,6 +199,7 @@ class SweepOutcome:
     records: List[Dict[str, object]] = field(default_factory=list)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the run."""
         return (
             f"{self.total_points} point(s): {self.ran} ran "
             f"({self.failed} failed), {self.skipped} resumed from store, "
@@ -184,11 +208,26 @@ class SweepOutcome:
 
 
 def default_workers() -> int:
+    """Default worker-process count: CPU count minus one, capped at 8."""
     return max(1, min(8, (os.cpu_count() or 2) - 1))
 
 
 class SweepRunner:
-    """Fan a sweep spec's points out across worker processes."""
+    """Fan a sweep spec's points out across worker processes.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to execute.
+    store:
+        Optional :class:`~repro.sweep.store.ResultStore` records are
+        appended to as they land.
+    workers:
+        Worker processes (``None`` = :func:`default_workers`); 1 runs
+        inline.
+    resume:
+        Skip points whose latest store record succeeded.
+    """
 
     def __init__(
         self,
@@ -211,6 +250,16 @@ class SweepRunner:
         is skipped.  Each completed record is appended to the store (and
         handed to ``progress``) as soon as it lands, so interrupting the
         sweep loses at most the in-flight points.
+
+        Parameters
+        ----------
+        progress:
+            Optional callback invoked with each record as it completes.
+
+        Returns
+        -------
+        SweepOutcome
+            Counts (ran/skipped/failed), elapsed time, and the records.
         """
         started = time.perf_counter()
         points = self.spec.points()
@@ -281,7 +330,33 @@ def run_sweep(
     force: bool = False,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> SweepOutcome:
-    """One-call convenience: open/create the store and run the sweep."""
+    """One-call convenience: open/create the store and run the sweep.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run (ignored on resume: the store's header wins).
+    store_path:
+        JSONL results file; ``None`` keeps results in memory only.
+    workers:
+        Worker processes (``None`` = :func:`default_workers`).
+    resume:
+        Continue a previous run, skipping completed points by ID.
+    force:
+        Overwrite an existing results file instead of refusing.
+    progress:
+        Optional per-record callback.
+
+    Returns
+    -------
+    SweepOutcome
+
+    Raises
+    ------
+    ResultStoreError
+        Resume without a store path, a missing/corrupt results file, or
+        an existing file without ``force``.
+    """
     store: Optional[ResultStore] = None
     if resume and store_path is None:
         raise ResultStoreError(

@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..comal.hierarchy import resolve_hierarchy
 from ..comal.machines import MACHINES
 from ..data.registry import GPT3_DATASET, GRAPH_DATASETS, SAE_DATASETS
 from ..driver.pipeline import DEFAULT_PASS_ORDER
@@ -51,7 +52,23 @@ def _freeze_args(args: Optional[Dict[str, object]]) -> Tuple[Tuple[str, object],
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One experiment: a model on a dataset under a schedule, pipeline, machine."""
+    """One experiment: a model on a dataset under a schedule, pipeline, machine.
+
+    Attributes
+    ----------
+    model, dataset, schedule, machine:
+        The grid coordinates of the experiment.
+    pipeline:
+        Compiler pass names, in order.
+    model_args:
+        Keyword overrides for the model builder, sorted for hashability.
+    par:
+        Index-variable parallelization factors applied to the schedule.
+    hierarchy:
+        Memory-hierarchy preset name (``"flat"`` reproduces the DRAM-only
+        simulator); accepts the ``preset@capacity_bytes`` form so sweeps
+        can grid over buffer sizes.
+    """
 
     model: str
     dataset: str = SYNTHETIC
@@ -62,6 +79,8 @@ class SweepPoint:
     model_args: Tuple[Tuple[str, object], ...] = ()
     # Index-variable parallelization factors applied to the schedule.
     par: Tuple[Tuple[str, int], ...] = ()
+    # Memory-hierarchy preset (see repro.comal.hierarchy.HIERARCHIES).
+    hierarchy: str = "flat"
 
     @classmethod
     def make(
@@ -73,6 +92,7 @@ class SweepPoint:
         pipeline: Sequence[str] = DEFAULT_PASS_ORDER,
         model_args: Optional[Dict[str, object]] = None,
         par: Optional[Dict[str, int]] = None,
+        hierarchy: str = "flat",
     ) -> "SweepPoint":
         """Build a point from plain dict/list arguments."""
         return cls(
@@ -83,9 +103,17 @@ class SweepPoint:
             pipeline=tuple(pipeline),
             model_args=_freeze_args(model_args),
             par=_freeze_args(par),  # type: ignore[arg-type]
+            hierarchy=hierarchy,
         )
 
     def validate(self) -> None:
+        """Reject unknown models/datasets/schedules/machines/hierarchies.
+
+        Raises
+        ------
+        SweepSpecError
+            With the offending field and the valid alternatives.
+        """
         if self.model not in MODEL_NAMES:
             raise SweepSpecError(
                 f"unknown model {self.model!r}; expected one of {MODEL_NAMES}"
@@ -105,6 +133,10 @@ class SweepPoint:
                 f"unknown machine {self.machine!r}; expected one of "
                 f"{sorted(MACHINES)}"
             )
+        try:
+            resolve_hierarchy(self.hierarchy)
+        except ValueError as exc:
+            raise SweepSpecError(str(exc)) from None
 
     # ------------------------------------------------------------------
     # Identity
@@ -130,6 +162,13 @@ class SweepPoint:
             f"model_args {sorted(args.items())}",
             f"par {sorted(self.par)}",
         ]
+        # Appended only when non-flat so gridding hierarchies never churns
+        # the IDs of flat points.  (Note: IDs also hash the pipeline, and
+        # place-memory joining DEFAULT_PASS_ORDER was a one-time ID churn —
+        # resuming a pre-hierarchy results file re-runs its points, which
+        # is correct-but-wasteful since the default compile flow changed.)
+        if self.hierarchy != "flat":
+            parts.append(f"hierarchy {self.hierarchy}")
         return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     @property
@@ -145,6 +184,8 @@ class SweepPoint:
         IDs never share a label — BENCH series names key on this.
         """
         bits = [self.model, self.dataset, self.schedule, self.machine]
+        if self.hierarchy != "flat":
+            bits.append(self.hierarchy)
         args = _filtered_args(self.model, dict(self.model_args))
         if args:
             bits.append(",".join(f"{k}={v}" for k, v in sorted(args.items())))
@@ -158,6 +199,7 @@ class SweepPoint:
     # Serialization
     # ------------------------------------------------------------------
     def to_record(self) -> Dict[str, object]:
+        """JSON-safe rendering, inverse of :meth:`from_record`."""
         return {
             "model": self.model,
             "dataset": self.dataset,
@@ -166,10 +208,12 @@ class SweepPoint:
             "pipeline": list(self.pipeline),
             "model_args": dict(self.model_args),
             "par": dict(self.par),
+            "hierarchy": self.hierarchy,
         }
 
     @classmethod
     def from_record(cls, record: Dict[str, object]) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_record` output (old files: flat)."""
         return cls.make(
             model=record["model"],
             dataset=record.get("dataset", SYNTHETIC),
@@ -178,6 +222,7 @@ class SweepPoint:
             pipeline=record.get("pipeline", DEFAULT_PASS_ORDER),
             model_args=record.get("model_args") or {},
             par=record.get("par") or {},
+            hierarchy=record.get("hierarchy", "flat"),
         )
 
 
@@ -259,6 +304,9 @@ class SweepSpec:
         default_factory=lambda: ["unfused", "partial", "full"]
     )
     machines: List[str] = field(default_factory=lambda: ["rda", "fpga"])
+    # Memory-hierarchy presets; None means flat only.  Accepts the
+    # "preset@capacity_bytes" form for buffer-size grids.
+    hierarchies: Optional[List[str]] = None
     # Pass-name lists; None means the default pipeline only.
     pipelines: Optional[List[List[str]]] = None
     # Builder keyword overrides broadcast to every grid point (filtered to
@@ -284,6 +332,7 @@ class SweepSpec:
         seen: set = set()
         matched_datasets: set = set()
         pipelines = self.pipelines or [list(DEFAULT_PASS_ORDER)]
+        hierarchies = self.hierarchies or ["flat"]
         for model in self.models:
             datasets = self.datasets if self.datasets is not None else [SYNTHETIC]
             valid = set(compatible_datasets(model))
@@ -293,20 +342,22 @@ class SweepSpec:
                 matched_datasets.add(dataset)
                 for schedule in self.schedules:
                     for machine in self.machines:
-                        for pipeline in pipelines:
-                            point = SweepPoint.make(
-                                model=model,
-                                dataset=dataset,
-                                schedule=schedule,
-                                machine=machine,
-                                pipeline=pipeline,
-                                model_args=self.model_args,
-                                par=self.par,
-                            )
-                            point.validate()
-                            if point.point_id not in seen:
-                                seen.add(point.point_id)
-                                points.append(point)
+                        for hierarchy in hierarchies:
+                            for pipeline in pipelines:
+                                point = SweepPoint.make(
+                                    model=model,
+                                    dataset=dataset,
+                                    schedule=schedule,
+                                    machine=machine,
+                                    pipeline=pipeline,
+                                    model_args=self.model_args,
+                                    par=self.par,
+                                    hierarchy=hierarchy,
+                                )
+                                point.validate()
+                                if point.point_id not in seen:
+                                    seen.add(point.point_id)
+                                    points.append(point)
         if self.datasets is not None:
             # A dataset no listed model can use is a typo or a missing
             # model, not cross-model mixing; silently shrinking the grid
@@ -336,12 +387,16 @@ class SweepSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_record(self) -> Dict[str, object]:
+        """JSON-safe rendering, inverse of :meth:`from_record`."""
         return {
             "name": self.name,
             "models": list(self.models),
             "datasets": None if self.datasets is None else list(self.datasets),
             "schedules": list(self.schedules),
             "machines": list(self.machines),
+            "hierarchies": (
+                None if self.hierarchies is None else list(self.hierarchies)
+            ),
             "pipelines": self.pipelines,
             "model_args": dict(self.model_args),
             "par": dict(self.par),
@@ -351,12 +406,14 @@ class SweepSpec:
 
     @classmethod
     def from_record(cls, record: Dict[str, object]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_record` output (missing keys default)."""
         return cls(
             name=record.get("name", "sweep"),
             models=list(record.get("models", ["gcn", "sae"])),
             datasets=record.get("datasets"),
             schedules=list(record.get("schedules", ["unfused", "partial", "full"])),
             machines=list(record.get("machines", ["rda", "fpga"])),
+            hierarchies=record.get("hierarchies"),
             pipelines=record.get("pipelines"),
             model_args=dict(record.get("model_args") or {}),
             par={k: int(v) for k, v in (record.get("par") or {}).items()},
@@ -367,11 +424,13 @@ class SweepSpec:
         )
 
     def save(self, path: str) -> None:
+        """Write this spec to ``path`` as pretty JSON (for ``--spec``)."""
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_record(), fh, indent=2, sort_keys=True)
             fh.write("\n")
 
     @classmethod
     def load(cls, path: str) -> "SweepSpec":
+        """Read a spec saved by :meth:`save` (or written by hand)."""
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_record(json.load(fh))

@@ -61,6 +61,13 @@ class ResultStore:
 
     @classmethod
     def open(cls, path: str) -> "ResultStore":
+        """Open an existing results file for reading and appending.
+
+        Raises
+        ------
+        ResultStoreError
+            If ``path`` does not exist.
+        """
         if not os.path.exists(path):
             raise ResultStoreError(f"no results file at {path!r}")
         return cls(path)
@@ -150,6 +157,7 @@ class ResultStore:
             fh.truncate(data.rfind(b"\n") + 1)
 
     def close(self) -> None:
+        """Close the append handle (reads reopen lazily)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

@@ -73,6 +73,23 @@ class TestSimulate:
         assert code == 0
         assert "busiest" in out
 
+    def test_simulate_hierarchy_reports_per_level_traffic(self, capsys):
+        code = cli_main(
+            ["simulate", "--model", "gcn", *SMALL, "--fusion", "unfused",
+             "--hierarchy", "fpga-small", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fpga-small" in out
+        assert "sram bytes" in out and "spill/fill" in out
+        assert "memory traffic per region" in out
+
+    def test_simulate_unknown_hierarchy_exits(self):
+        with pytest.raises(SystemExit, match="unknown hierarchy"):
+            cli_main(
+                ["simulate", "--model", "gcn", *SMALL, "--hierarchy", "hbm9"]
+            )
+
 
 class TestSweepVerbs:
     def test_run_resume_report_cycle(self, capsys, tmp_path):
@@ -106,6 +123,21 @@ class TestSweepVerbs:
         assert summary["points_ok"] == 12 and summary["verified"] is True
         with open(bench_path) as fh:
             assert len(json.load(fh)["results"]) == 12
+
+    def test_run_with_hierarchies_axis(self, capsys, tmp_path):
+        out_path = str(tmp_path / "hier.jsonl")
+        code = cli_main(
+            ["sweep", "run", *SMALL, "--models", "gcn", "--machines", "rda",
+             "--schedules", "unfused,full", "--hierarchies",
+             "flat,fpga-small", "--workers", "1", "--out", out_path,
+             "--name", "hier-smoke"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 point(s): 4 ran" in out
+        assert "fpga-small" in out
+        # Speedup groups keep hierarchies separate.
+        assert "gcn/synthetic/rda/fpga-small" in out
 
     def test_run_refuses_existing_out(self, capsys, tmp_path):
         out_path = str(tmp_path / "sweep.jsonl")
@@ -171,6 +203,17 @@ class TestSweepVerbs:
 
 
 class TestEstimateAutotuneCompile:
+    def test_estimate_hierarchy_changes_byte_estimates(self, capsys):
+        """--hierarchy reaches the heuristic via the pinned operand budget."""
+        assert cli_main(["estimate", "--model", "gcn", "--nodes", "48"]) == 0
+        flat = capsys.readouterr().out
+        assert cli_main(
+            ["estimate", "--model", "gcn", "--nodes", "48",
+             "--hierarchy", "fpga-small@512"]
+        ) == 0
+        tiny = capsys.readouterr().out
+        assert flat != tiny  # a 512 B operand budget must move the estimates
+
     def test_estimate(self, capsys):
         code = cli_main(["estimate", "--model", "gcn", *SMALL])
         out = capsys.readouterr().out

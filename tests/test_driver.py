@@ -199,7 +199,7 @@ class TestPassPipeline:
         prog, binding, expected = gcn_layer
         pipeline = PassPipeline.default().reordered(
             ["fuse-regions", "merge-contractions", "fold-masks",
-             "lower-region", "parallelize"]
+             "lower-region", "place-memory", "parallelize"]
         )
         exe = Session(pipeline=pipeline).compile(prog, fully_fused(prog))
         np.testing.assert_allclose(
@@ -210,7 +210,7 @@ class TestPassPipeline:
         prog, _, _ = gcn_layer
         pipeline = PassPipeline.default().reordered(
             ["parallelize", "fuse-regions", "fold-masks",
-             "merge-contractions", "lower-region"]
+             "merge-contractions", "lower-region", "place-memory"]
         )
         with pytest.raises(PipelineError, match="parallelize"):
             Session(pipeline=pipeline).compile(prog, unfused(prog))
