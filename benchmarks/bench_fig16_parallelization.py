@@ -13,24 +13,28 @@ import pytest
 
 from bench_common import COMPUTE_BOUND_MACHINE, cached, print_figure
 from repro.models.gpt3 import build_gpt3
-from repro.pipeline import compile_program, execute
+from repro.driver import Session
 
 FACTORS = [1, 2, 4, 8, 16, 32, 64]
 ATTENTION_REGION = 1  # subset 2 of decoder 0 under the partial schedule
+
+#: Shared compile cache across the factor sweep (par changes the schedule
+#: fingerprint, so every factor still compiles exactly once).
+_SESSION = Session()
 
 
 def _attention_cycles(bundle, par):
     schedule = bundle.schedule("partial")
     schedule.par = dict(par)
-    compiled = compile_program(bundle.program, schedule)
-    result = execute(compiled, bundle.binding, COMPUTE_BOUND_MACHINE)
+    executable = _SESSION.compile(bundle.program, schedule)
+    result = executable(bundle.binding, machine=COMPUTE_BOUND_MACHINE)
     return result.region_results[ATTENTION_REGION].cycles
 
 
 @cached
 def sweeps():
     bundle = build_gpt3(seq_len=128, d_model=16, block=4, n_layers=1, seed=31)
-    compiled = compile_program(bundle.program, bundle.schedule("partial"))
+    compiled = _SESSION.compile(bundle.program, bundle.schedule("partial")).compiled
     order = compiled.regions[ATTENTION_REGION].order
     level1, level2 = order[0], order[1]
     factor_sweep = {f: _attention_cycles(bundle, {level1: f}) for f in FACTORS}
@@ -81,6 +85,6 @@ def test_fig16b_parallel_location_sweep(benchmark):
     assert both >= single  # parallelizing both levels compounds
 
     bundle = build_gpt3(seq_len=64, d_model=16, block=4, n_layers=1, seed=31)
-    compiled = compile_program(bundle.program, bundle.schedule("partial"))
+    compiled = _SESSION.compile(bundle.program, bundle.schedule("partial")).compiled
     level1 = compiled.regions[ATTENTION_REGION].order[0]
     benchmark(lambda: _attention_cycles(bundle, {level1: 4}))

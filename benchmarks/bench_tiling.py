@@ -1,0 +1,233 @@
+"""Index-splitting (tiling) benchmark: spill traffic vs tile count.
+
+Under a small on-chip buffer, cross-region intermediates that do not fit
+spill to DRAM (``place-memory`` pass).  Splitting an intermediate's outer
+row index into ``T`` tiles shrinks its *resident* footprint by ``T`` —
+only one tile occupies the buffer at a time — so a tiled schedule fits
+intermediates that the untiled schedule spilled.  This benchmark sweeps
+tile counts on gcn and gpt3 under the ``fpga-small`` hierarchy (8 KiB,
+the tightest preset) and reports per-level traffic.
+
+The shape this asserts (the PR's acceptance criterion, gated in CI):
+
+* On both models, the best split schedule moves **strictly less DRAM
+  spill traffic** than its unsplit counterpart at the same fusion
+  granularity — and the saved bytes show up as on-chip (SRAM) traffic,
+  not as vanished work.
+* Spill is monotone non-increasing in the tile count: more tiles never
+  spill more (smaller resident footprints only help capacity).
+* Functional results are bit-identical across every tile count (splitting
+  iterates the same coordinates in the same order, just in chunks).
+
+Tiling is not free: every tile boundary costs a pipeline fill/drain, so
+cycles can go *up* even as DRAM traffic collapses — the rows keep both so
+the tradeoff stays visible.
+
+Run directly to (re)generate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_tiling.py --out BENCH_tiling.json
+
+or via pytest (asserts the acceptance shape)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_tiling.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.schedule.split import intermediate_row_splits
+from repro.driver import Session
+from repro.sweep import SweepPoint, build_bundle
+
+#: Model configurations and the fusion granularity each is tiled at: gcn
+#: unfused (every layer boundary materializes, so capacity pressure is
+#: maximal) and gpt3 partial (tiling composes with fusion — the fused
+#: regions' reshape-barrier outputs still spill untiled).
+MODEL_POINTS = {
+    "gcn": {
+        "args": {"nodes": 96, "density": 0.06, "seed": 0},
+        "granularity": "unfused",
+    },
+    "gpt3": {
+        "args": {"seq_len": 16, "d_model": 8, "block": 4, "n_layers": 1, "seed": 0},
+        "granularity": "partial",
+    },
+}
+
+#: The tightest on-chip preset (8 KiB): the one where tiling matters most.
+HIERARCHY = "fpga-small"
+
+#: Tile counts swept per model; 1 is the unsplit baseline.
+TILE_COUNTS = (1, 2, 4, 8)
+
+MACHINE = "rda"
+
+
+def run_benchmark() -> Dict[str, object]:
+    rows: List[Dict[str, object]] = []
+    for model, config in MODEL_POINTS.items():
+        bundle = build_bundle(
+            SweepPoint.make(model, model_args=config["args"])
+        )
+        session = Session(hierarchy=HIERARCHY)
+        granularity = config["granularity"]
+        # Discover the split recipe from the unsplit compile: the outer
+        # emission index of every cross-region intermediate.
+        base_exe = session.compile(bundle.program, bundle.schedule(granularity))
+        baseline_out = None
+        for tiles in TILE_COUNTS:
+            schedule = bundle.schedule(granularity)
+            if tiles > 1:
+                schedule.splits = intermediate_row_splits(
+                    base_exe.compiled, tiles
+                )
+            exe = session.compile(bundle.program, schedule)
+            result = exe(bundle.binding)
+            out = result.tensors[bundle.output].to_dense()
+            if baseline_out is None:
+                baseline_out = out
+            m = result.metrics
+            rows.append(
+                {
+                    "model": model,
+                    "config": dict(config["args"]),
+                    "granularity": granularity,
+                    "tiles": tiles,
+                    "splits": dict(schedule.splits),
+                    "cycles": m.cycles,
+                    "flops": m.flops,
+                    "dram_bytes": m.dram_bytes,
+                    "sram_bytes": m.sram_bytes,
+                    "spill_bytes": m.spill_bytes,
+                    "fill_bytes": m.fill_bytes,
+                    "max_abs_err": bundle.max_abs_err(result),
+                    "bit_exact_vs_unsplit": bool(
+                        np.array_equal(out, baseline_out)
+                    ),
+                }
+            )
+
+    def spill(model: str, tiles: int) -> int:
+        return next(
+            r["spill_bytes"]
+            for r in rows
+            if r["model"] == model and r["tiles"] == tiles
+        )
+
+    headline = {}
+    for model in MODEL_POINTS:
+        unsplit = spill(model, 1)
+        best_tiles = min(
+            (t for t in TILE_COUNTS if t > 1), key=lambda t: spill(model, t)
+        )
+        headline[f"{model}_unsplit_spill_bytes"] = unsplit
+        headline[f"{model}_best_split_spill_bytes"] = spill(model, best_tiles)
+        headline[f"{model}_best_tiles"] = best_tiles
+    return {
+        "name": "tiling",
+        "machine": MACHINE,
+        "hierarchy": HIERARCHY,
+        "tile_counts": list(TILE_COUNTS),
+        "rows": rows,
+        "headline": headline,
+    }
+
+
+def render(payload: Dict[str, object]) -> str:
+    lines = [
+        f"{'model':6s} {'schedule':9s} {'tiles':>5s} {'cycles':>9s} "
+        f"{'dram':>8s} {'sram':>8s} {'spill':>8s} {'fill':>8s}"
+    ]
+    for r in payload["rows"]:
+        lines.append(
+            f"{r['model']:6s} {r['granularity']:9s} {r['tiles']:5d} "
+            f"{r['cycles']:9.0f} {r['dram_bytes']:8d} {r['sram_bytes']:8d} "
+            f"{r['spill_bytes']:8d} {r['fill_bytes']:8d}"
+        )
+    lines.append("")
+    for key, value in sorted(payload["headline"].items()):
+        lines.append(f"{key}: {value}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (acceptance shape)
+# ----------------------------------------------------------------------
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_benchmark()
+
+
+def _rows(payload, **match):
+    return [
+        r for r in payload["rows"] if all(r[k] == v for k, v in match.items())
+    ]
+
+
+def test_all_points_verified(payload):
+    """Every (model, tiles) point matches the dense reference."""
+    for r in payload["rows"]:
+        assert r["max_abs_err"] < 1e-6, r
+
+
+def test_split_is_bit_exact(payload):
+    """Split schedules reproduce the unsplit output bit for bit."""
+    for r in payload["rows"]:
+        assert r["bit_exact_vs_unsplit"], r
+
+
+def test_best_split_strictly_reduces_spill(payload):
+    """Acceptance: best split < unsplit spill bytes on gcn AND gpt3."""
+    head = payload["headline"]
+    for model in MODEL_POINTS:
+        assert (
+            head[f"{model}_best_split_spill_bytes"]
+            < head[f"{model}_unsplit_spill_bytes"]
+        ), (model, render(payload))
+
+
+def test_split_converts_spill_to_sram(payload):
+    """The saved spill lands on-chip: best split moves more SRAM traffic."""
+    for model in MODEL_POINTS:
+        unsplit = _rows(payload, model=model, tiles=1)[0]
+        best_tiles = payload["headline"][f"{model}_best_tiles"]
+        best = _rows(payload, model=model, tiles=best_tiles)[0]
+        assert best["sram_bytes"] > unsplit["sram_bytes"], (model, render(payload))
+        assert best["dram_bytes"] < unsplit["dram_bytes"], (model, render(payload))
+
+
+def test_spill_monotone_in_tile_count(payload):
+    """More tiles never spill more (resident footprints only shrink)."""
+    for model in MODEL_POINTS:
+        spills = [
+            _rows(payload, model=model, tiles=t)[0]["spill_bytes"]
+            for t in TILE_COUNTS
+        ]
+        assert spills == sorted(spills, reverse=True), (model, spills)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_tiling.json")
+    args = parser.parse_args(argv)
+    payload = run_benchmark()
+    print(render(payload))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

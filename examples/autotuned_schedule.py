@@ -15,7 +15,9 @@ from repro.comal import RDA_MACHINE, render_report, run_timed
 from repro.core.heuristic.model import stats_from_binding
 from repro.core.schedule.autotune import autotune
 from repro.models.graphsage import graphsage_on_synthetic
-from repro.pipeline import compile_program, execute, run
+from repro.driver import Session
+
+session = Session()
 
 bundle = graphsage_on_synthetic(nodes=60, density=0.06, seed=0)
 print(f"model: {bundle.name}, {len(bundle.program.statements)} statements")
@@ -37,12 +39,12 @@ for name, cycles in tuned.ranking:
 print(f"winner: {tuned.best.name} at {tuned.measured_cycles:.0f} cycles")
 
 # Verify the winner and show where its cycles go.
-result = run(bundle.program, bundle.binding, tuned.best)
+result = session.run(bundle.program, bundle.binding, tuned.best)
 out = result.tensors[bundle.output].to_dense()
 assert np.abs(out - bundle.reference).max() < 1e-9
 
-compiled = compile_program(bundle.program, tuned.best)
+executable = session.compile(bundle.program, tuned.best)
 print("\nbottleneck report for the winner's first region:")
-region = compiled.regions[0]
-region_result = execute(compiled, bundle.binding).region_results[0]
+region = executable.regions[0]
+region_result = executable(bundle.binding).region_results[0]
 print(render_report(region.graph, region_result, top=8))

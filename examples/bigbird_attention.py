@@ -13,7 +13,9 @@ import numpy as np
 from repro.comal.metrics import format_table
 from repro.data.text import bigbird_mask, mask_sparsity
 from repro.models.gpt3 import build_gpt3
-from repro.pipeline import compile_program, execute, run
+from repro.driver import Session
+
+session = Session()
 
 SEQ, DMODEL, BLOCK = 64, 8, 8
 
@@ -24,7 +26,7 @@ bundle = build_gpt3(seq_len=SEQ, d_model=DMODEL, block=BLOCK, n_layers=1, seed=0
 
 # Show the SDDMM rewrite: in the fused attention region the mask operand is
 # folded into the QK^T contraction (one statement instead of two).
-compiled = compile_program(bundle.program, bundle.schedule("partial"))
+compiled = session.compile(bundle.program, bundle.schedule("partial")).compiled
 attention_region = compiled.regions[1]
 print("\nfused attention region statements (mask folded into QK^T):")
 for stmt in attention_region.fused.statements:
@@ -34,7 +36,7 @@ for stmt in attention_region.fused.statements:
 rows = []
 baseline = None
 for granularity in ("unfused", "partial", "full"):
-    result = run(bundle.program, bundle.binding, bundle.schedule(granularity))
+    result = session.run(bundle.program, bundle.binding, bundle.schedule(granularity))
     out = result.tensors[bundle.output].to_dense()
     assert np.abs(out - bundle.reference).max() < 1e-7
     cycles = result.metrics.cycles
@@ -51,7 +53,6 @@ print("no recomputation is introduced (Figure 22d).")
 # the duplicated compute subgraphs are the binding resource, as in the
 # paper's parallelization study.
 from repro.comal import RDA_MACHINE
-from repro.pipeline import compile_program as _compile, execute as _execute
 
 compute_bound = RDA_MACHINE.scaled(dram_bandwidth=1e9, dram_latency=1.0)
 print("\nparallelization sweep (attention region, outer block-row index):")
@@ -60,7 +61,7 @@ base_cycles = None
 for factor in (1, 2, 4, 8, 16):
     schedule = bundle.schedule("partial")
     schedule.par = {compiled.regions[1].order[0]: factor}
-    result = _execute(_compile(bundle.program, schedule), bundle.binding, compute_bound)
+    result = session.run(bundle.program, bundle.binding, schedule, machine=compute_bound)
     cycles = result.region_results[1].cycles
     if base_cycles is None:
         base_cycles = cycles

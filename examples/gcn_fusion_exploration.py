@@ -16,7 +16,9 @@ from repro.comal.metrics import format_table
 from repro.core.heuristic.model import stats_from_binding
 from repro.core.heuristic.prune import rank_schedules
 from repro.models.gcn import gcn_on_synthetic
-from repro.pipeline import run
+from repro.driver import Session
+
+session = Session()
 
 bundle = gcn_on_synthetic(nodes=120, density=0.05, pattern="powerlaw", seed=0)
 print(f"model: {bundle.name}, {len(bundle.program.statements)} statements")
@@ -29,7 +31,7 @@ baseline = None
 results = {}
 for granularity in ("unfused", "cs", "partial", "full"):
     schedule = bundle.schedule(granularity)
-    result = run(bundle.program, bundle.binding, schedule)
+    result = session.run(bundle.program, bundle.binding, schedule)
     out = result.tensors[bundle.output].to_dense()
     assert np.abs(out - bundle.reference).max() < 1e-9, granularity
     metrics = result.metrics

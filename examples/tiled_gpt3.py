@@ -1,0 +1,88 @@
+"""Index splitting (tiling) on the BigBird GPT-3 block: spill -> on-chip.
+
+Under a small on-chip buffer the block-sparse GPT-3 decoder's cross-region
+intermediates are too big to stay resident: the `place-memory` pass spills
+them to DRAM and charges a fill for every read-back.  Splitting their row
+index into tiles shrinks the *resident* footprint — only one tile lives in
+the buffer at a time — so the same schedule with `splits` set keeps them
+on-chip.  This walkthrough:
+
+1. compiles the partial schedule under the 8 KiB `fpga-small` hierarchy
+   and shows the spill traffic,
+2. derives the tiling recipe with `intermediate_row_splits` (tile the
+   outer emission index of every cross-region intermediate),
+3. sweeps tile counts, showing spill falling to the on-chip level while
+   tile-boundary bubbles nudge cycles up, and
+4. verifies every tiled run is bit-identical to the untiled one.
+
+Run:  python examples/tiled_gpt3.py
+"""
+
+import numpy as np
+
+from repro.comal.metrics import format_table
+from repro.core.schedule.split import intermediate_row_splits
+from repro.driver import Session
+from repro.models.gpt3 import build_gpt3
+
+bundle = build_gpt3(seq_len=16, d_model=8, block=4, n_layers=1, seed=0)
+session = Session(hierarchy="fpga-small")
+print(f"model: {bundle.name}, hierarchy: {session.machine.hierarchy.describe()}")
+
+# 1. The untiled baseline: blocked intermediates exceed the 8 KiB buffer.
+base_exe = session.compile(bundle.program, bundle.schedule("partial"))
+base = base_exe(bundle.binding)
+base_out = base.tensors[bundle.output].to_dense()
+assert np.abs(base_out - bundle.reference).max() < 1e-6
+levels = base.metrics.traffic_by_level()
+print(f"\nuntiled traffic: {levels}")
+assert levels["spill"] > 0, "expected the untiled schedule to spill"
+
+# 2. The tiling recipe: split the outer row of every intermediate that
+# crosses a region boundary.  Index names live in the unified per-region
+# namespace; the helper reads them off the compiled regions.
+splits = intermediate_row_splits(base_exe.compiled, 8)
+print(f"tiling recipe (8 tiles per intermediate row): {splits}")
+
+# 3. Sweep tile counts.  More tiles -> smaller resident footprints ->
+# less spill; every tile boundary costs a pipeline fill/drain, so cycles
+# creep up as tiling deepens.
+rows = []
+prev_spill = None
+for tiles in (1, 2, 4, 8):
+    schedule = bundle.schedule("partial")
+    if tiles > 1:
+        schedule.splits = intermediate_row_splits(base_exe.compiled, tiles)
+    result = session.compile(bundle.program, schedule)(bundle.binding)
+    m = result.metrics
+
+    # 4. Tiling must not change a single bit of the functional results.
+    out = result.tensors[bundle.output].to_dense()
+    assert np.array_equal(out, base_out), f"tiles={tiles} diverged"
+
+    if prev_spill is not None:
+        assert m.spill_bytes <= prev_spill, "spill must shrink with tiling"
+    prev_spill = m.spill_bytes
+    rows.append(
+        [
+            str(tiles),
+            f"{m.cycles:.0f}",
+            str(m.dram_bytes),
+            str(m.sram_bytes),
+            str(m.spill_bytes),
+            str(m.fill_bytes),
+        ]
+    )
+
+print()
+print(format_table(rows, ["tiles", "cycles", "dram", "sram", "spill", "fill"]))
+
+best_spill = int(rows[-1][4])
+untiled_spill = int(rows[0][4])
+assert best_spill < untiled_spill
+print(
+    f"\n8-way tiling cut spill from {untiled_spill} to {best_spill} bytes "
+    "(bit-identical results); the extra cycles are the tile-boundary "
+    "fill/drain bubbles — the classic traffic-for-latency tradeoff the "
+    "splits knob exposes."
+)

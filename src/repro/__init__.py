@@ -14,8 +14,9 @@ Public API surface:
 * :mod:`repro.driver` — the compile driver: :class:`Session` (cached
   compiles), :class:`PassPipeline` (named, pluggable passes), and
   :class:`Executable` (callable compiled programs with diagnostics).
-* :mod:`repro.pipeline` — legacy compile/execute free functions (shims
-  over the driver's default session).
+* :mod:`repro.pipeline` — **deprecated** legacy compile/execute free
+  functions (shims over the driver's default session that warn on every
+  call; use :class:`~repro.driver.Session`).
 """
 
 from . import comal, core, data, driver, ftree, models, sam

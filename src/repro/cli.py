@@ -12,8 +12,11 @@ Examples::
 
     fuseflow run --model gcn --fusion partial
     fuseflow run --model gpt3 --fusion full --block 8 --par x1=4
+    fuseflow run --model gcn --fusion unfused --hierarchy fpga-small --split x1=8
     fuseflow simulate --model gcn --fusion partial --profile --top 8
     fuseflow simulate --model gcn --fusion unfused --hierarchy fpga-small
+    fuseflow sweep run --models gpt3 --hierarchies fpga-small \
+        --splits none --splits x16=8
     fuseflow sweep quick --model graphsage
     fuseflow sweep run --models gcn,sae --machines rda,fpga --out sweep.jsonl
     fuseflow sweep run --models gcn,gpt3 --hierarchies flat,fpga-small,asic-large
@@ -21,6 +24,7 @@ Examples::
     fuseflow sweep report --out sweep.jsonl --json report.json
     fuseflow estimate --model gcn
     fuseflow autotune --model sae --nodes 16
+    fuseflow autotune --model gcn --hierarchy fpga-small --split x1=4 --split x1=8
     fuseflow compile --model sae --fusion full --show-graph --diagnostics
 """
 
@@ -99,6 +103,37 @@ def _parse_par(specs: List[str]) -> Dict[str, int]:
     return par
 
 
+def _parse_split_config(text: str) -> Dict[str, int]:
+    """Parse one split configuration: ``"i=8"`` or ``"i=8,j=4"`` or ``"none"``."""
+    if text.strip().lower() in ("", "none"):
+        return {}
+    splits: Dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if "=" not in part:
+            raise SystemExit(f"--split expects index=tiles, got {part!r}")
+        idx, tiles = part.split("=", 1)
+        idx = idx.strip()
+        if not idx:
+            raise SystemExit(f"--split expects index=tiles, got {part!r}")
+        try:
+            count = int(tiles)
+        except ValueError:
+            raise SystemExit(f"--split tile count must be an int, got {tiles!r}")
+        if count < 1:
+            raise SystemExit(f"--split tile count must be >= 1, got {count}")
+        splits[idx] = count
+    return splits
+
+
+def _parse_splits(specs: List[str]) -> Dict[str, int]:
+    """Merge repeated ``--split`` flags into one schedule splits dict."""
+    merged: Dict[str, int] = {}
+    for spec in specs or []:
+        merged.update(_parse_split_config(spec))
+    return merged
+
+
 def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--model", required=True, choices=["gcn", "graphsage", "sae", "gpt3"]
@@ -121,12 +156,26 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
             "(e.g. fpga-small@16384)"
         ),
     )
+    parser.add_argument(
+        "--split",
+        action="append",
+        metavar="INDEX=TILES",
+        help=(
+            "index splitting (tiling): iterate INDEX in TILES sequential "
+            "tiles, e.g. --split x1=8 or --split x1=8,x7=8; repeatable "
+            "(merged into one schedule — sweep quick applies it to every "
+            "granularity; for autotune each flag is one candidate "
+            "configuration co-optimized against fusion; estimate's "
+            "analytical heuristic ignores it)"
+        ),
+    )
 
 
 def cmd_run(args) -> int:
     bundle = _build_model(args)
     schedule = bundle.schedule(args.fusion)
     schedule.par = _parse_par(args.par)
+    schedule.splits = _parse_splits(args.split)
     session = _session(args)
     exe = session.compile(bundle.program, schedule)
     result = exe(bundle.binding)
@@ -150,6 +199,7 @@ def cmd_simulate(args) -> int:
     bundle = _build_model(args)
     schedule = bundle.schedule(args.fusion)
     schedule.par = _parse_par(args.par)
+    schedule.splits = _parse_splits(args.split)
     session = Session(
         machine=MACHINES[args.machine],
         columnar=False if args.legacy_streams else None,
@@ -215,11 +265,15 @@ def cmd_sweep_quick(args) -> int:
     """Single-model fusion-granularity comparison (the original sweep)."""
     bundle = _build_model(args)
     session = _session(args)
+    schedules = bundle.schedules(("unfused", "partial", "full"))
+    splits = _parse_splits(args.split)
+    for schedule in schedules:
+        schedule.splits = dict(splits)
     runs = sweep_schedules(
         session,
         bundle.program,
         bundle.binding,
-        bundle.schedules(("unfused", "partial", "full")),
+        schedules,
     )
     baseline = runs[0].cycles if runs else 1.0
     print(f"{'granularity':12s} {'cycles':>12s} {'speedup':>8s} {'flops':>12s} {'bytes':>12s}")
@@ -247,6 +301,9 @@ def _sweep_spec_from_args(args) -> SweepSpec:
     pipelines = None
     if args.pipeline:
         pipelines = [_split_csv(spec) for spec in args.pipeline]
+    splits_axis = None
+    if getattr(args, "splits", None):
+        splits_axis = [_parse_split_config(spec) for spec in args.splits]
     return SweepSpec(
         name=args.name,
         models=_split_csv(args.models),
@@ -257,6 +314,7 @@ def _sweep_spec_from_args(args) -> SweepSpec:
         pipelines=pipelines,
         model_args=model_args,
         par=_parse_par(args.par),
+        splits=splits_axis,
         baseline_schedule=args.baseline,
     )
 
@@ -337,6 +395,13 @@ def cmd_sweep_report(args) -> int:
 
 def cmd_estimate(args) -> int:
     bundle = _build_model(args)
+    if args.split:
+        print(
+            "note: the analytical heuristic does not model index splitting; "
+            "--split is ignored by `estimate` (use `run`/`simulate` to "
+            "measure a tiled schedule)",
+            file=sys.stderr,
+        )
     stats = stats_from_binding(bundle.binding)
     schedules = bundle.schedules()
     # The heuristic sees the hierarchy through the machine's (pinned)
@@ -359,6 +424,10 @@ def cmd_autotune(args) -> int:
     bundle = _build_model(args)
     session = _session(args)
     stats = stats_from_binding(bundle.binding)
+    # Each --split flag is one candidate split configuration; the unsplit
+    # baseline is always enumerated first, so the tuner co-optimizes
+    # tiling against fusion granularity.
+    split_axis = [_parse_split_config(s) for s in args.split or []]
     try:
         tuned = autotune(
             bundle.program,
@@ -367,6 +436,7 @@ def cmd_autotune(args) -> int:
             session=session,
             simulate_top=args.simulate_top,
             max_candidates=args.max_candidates,
+            splits=split_axis or None,
         )
     except RuntimeError as exc:
         print(f"autotune failed: {exc}", file=sys.stderr)
@@ -374,6 +444,11 @@ def cmd_autotune(args) -> int:
     print(f"model      : {bundle.name}")
     print(f"considered : {tuned.candidates_considered} candidate(s), "
           f"simulated {tuned.candidates_simulated}")
+    if tuned.partitions_dropped:
+        print(f"truncated  : {tuned.partitions_dropped} of "
+              f"{tuned.partition_space} contiguous partitions dropped by "
+              f"--max-candidates {args.max_candidates} (kept subset is "
+              "deterministic: fewest boundaries first)")
     for name, cycles in tuned.ranking:
         marker = " <- best" if name == tuned.best.name else ""
         print(f"  {name:20s} {cycles:12.0f} cycles{marker}")
@@ -393,7 +468,9 @@ def cmd_autotune(args) -> int:
 def cmd_compile(args) -> int:
     bundle = _build_model(args)
     session = _session(args)
-    exe = session.compile(bundle.program, bundle.schedule(args.fusion))
+    schedule = bundle.schedule(args.fusion)
+    schedule.splits = _parse_splits(args.split)
+    exe = session.compile(bundle.program, schedule)
     print(exe.compiled.describe())
     if args.diagnostics:
         print()
@@ -462,6 +539,11 @@ def main(argv: List[str] | None = None) -> int:
                           help="comma-separated memory-hierarchy presets "
                                "(default: flat; preset@bytes overrides SRAM "
                                "capacity)")
+    p_sw_run.add_argument("--splits", action="append", metavar="CONFIG",
+                          help="index-splitting axis: each flag is one "
+                               "config ('x1=8' or 'x1=8,x7=8'; 'none' for "
+                               "the unsplit baseline), gridded against "
+                               "every other axis; repeatable")
     p_sw_run.add_argument("--pipeline", action="append",
                           help="comma-separated pass names; repeatable for variants")
     p_sw_run.add_argument("--baseline", default="unfused",

@@ -159,6 +159,23 @@ def _paced_times(times, step: float, latency: float):
     return served + latency
 
 
+def _tiled_times(times, tiles: int, bubble: float):
+    """Re-pace an emission schedule as ``tiles`` tile-sequential passes.
+
+    Index splitting (see :mod:`repro.core.schedule.split`) executes a node's
+    token stream in ``tiles`` back-to-back passes; every tile boundary
+    costs one pipeline fill/drain ``bubble``.  Token ``k`` of ``n`` belongs
+    to tile ``k * tiles // n`` and is pushed back by that many bubbles —
+    offsets are non-decreasing, so the schedule stays monotone and the
+    last token lands ``(tiles - 1) * bubble`` later than untiled.
+    """
+    n = len(times)
+    if n < _VECTOR_THRESHOLD:
+        return [t + bubble * ((k * tiles) // n) for k, t in enumerate(times)]
+    k = np.arange(n, dtype=np.int64)
+    return np.asarray(times, dtype=np.float64) + bubble * ((k * tiles) // n)
+
+
 #: Shared empty out-port map (avoids allocating one per portless node).
 _NO_PORTS: Dict[str, Any] = {}
 
@@ -276,6 +293,7 @@ def run_timed(
         par = par_node.par_factor
         ii = machine.ii_of(tclass) / (par if par > 1 else 1)
         lat = machine.latency_of(tclass)
+        tiles = par_node.tile_factor
         stats = func.stats.get(node_id)
 
         driver = ()
@@ -291,6 +309,11 @@ def run_timed(
         max_len = max((len(s) for s in out_ports.values()), default=0)
 
         schedule = _emission_schedule(driver, max_len, ii, start)
+        if tiles > 1 and max_len:
+            # Tile-sequential execution (index splitting): the stream runs
+            # in `tiles` passes, each boundary costing one pipeline
+            # fill/drain (latency to refill + one II to restart).
+            schedule = _tiled_times(schedule, tiles, lat + ii)
 
         # Pace memory traffic through the level this node was placed in.
         # Each node streams at full port bandwidth (requests pipeline,
@@ -307,6 +330,9 @@ def run_timed(
             schedule = _paced_times(schedule, per_token / port_bw, port_lat)
         elif traffic:
             # No output tokens (pure writer): stream the traffic at the end.
+            # Writers sit in the construct region, which apply_split leaves
+            # un-tiled — the merging serializer drains continuously across
+            # tile boundaries — so no per-tile term belongs here.
             arrival = float(driver[-1]) if n_driver else 0.0
             node_finish[node_id] = arrival + traffic / port_bw + port_lat
         if traffic:

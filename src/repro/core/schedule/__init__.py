@@ -1,6 +1,12 @@
-"""Scheduling language: fusion regions, orders, parallelization."""
+"""Scheduling language: fusion regions, orders, parallelization, splitting."""
 
-from .autotune import TunedSchedule, autotune, contiguous_partitions, enumerate_schedules
+from .autotune import (
+    TunedSchedule,
+    autotune,
+    contiguous_partitions,
+    enumerate_schedules,
+    partition_space_size,
+)
 from .par import apply_parallelization, parallelized_levels
 from .schedule import (
     Schedule,
@@ -9,6 +15,14 @@ from .schedule import (
     fully_fused,
     fused_groups,
     unfused,
+)
+from .split import (
+    apply_split,
+    intermediate_row_splits,
+    is_tile_index,
+    split_footprint_scale,
+    tiled_levels,
+    validate_split_item,
 )
 
 __all__ = [
@@ -19,9 +33,16 @@ __all__ = [
     "fused_groups",
     "cs_rewrite",
     "apply_parallelization",
+    "apply_split",
     "autotune",
     "TunedSchedule",
     "enumerate_schedules",
     "contiguous_partitions",
+    "partition_space_size",
     "parallelized_levels",
+    "tiled_levels",
+    "split_footprint_scale",
+    "intermediate_row_splits",
+    "is_tile_index",
+    "validate_split_item",
 ]

@@ -18,8 +18,9 @@ configurations, heuristic pruning of suboptimal ones).
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ...comal.machines import Machine, RDA_MACHINE
 from ...driver.executable import Executable
@@ -29,6 +30,7 @@ from ..einsum.ast import EinsumProgram
 from ..heuristic.model import FusionHeuristic, TensorStats
 from ..heuristic.prune import roofline_score
 from .schedule import Schedule, fused_groups
+from .split import validate_split_item
 
 
 @dataclass
@@ -43,6 +45,18 @@ class TunedSchedule:
     # The winner's compiled form, served from the session cache (no extra
     # lowering beyond the simulation that measured it).
     executable: Optional[Executable] = None
+    # Size of the full contiguous-partition space (2^(n-1)) and how many
+    # of those partitions the enumeration cap dropped.  Non-zero drops mean
+    # the search was bounded — the kept subset is deterministic (fewest
+    # region boundaries first, then lexicographic cut positions), but the
+    # winner is only best *within* it.
+    partition_space: int = 0
+    partitions_dropped: int = 0
+
+
+def partition_space_size(n: int) -> int:
+    """Size of the contiguous-partition schedule space: ``2**(n-1)``."""
+    return 1 << (n - 1) if n > 0 else 0
 
 
 def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[int]]]:
@@ -50,11 +64,20 @@ def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[i
 
     Fusion regions must respect program order, so the schedule space is the
     2^(n-1) ways of placing region boundaries between consecutive
-    statements.  The cap keeps enumeration tractable for big models; beyond
-    it, coarser granularities (fewer boundaries) are preferred.
+    statements.  The cap keeps enumeration tractable for big models.
+
+    The kept subset under the cap is deterministic and documented:
+    partitions are enumerated with the fewest region boundaries first
+    (coarsest fusion), ties broken by lexicographic cut positions — so the
+    cap always keeps the fully fused partition and the coarsest
+    granularities, and repeated runs see the identical candidate set.
+    Truncation is *surfaced*, not silent: a :class:`UserWarning` is emitted
+    here, and :func:`autotune` reports the drop count in
+    :attr:`TunedSchedule.partitions_dropped`.
     """
     partitions: List[List[List[int]]] = []
     boundaries = list(range(1, n))
+    truncated = False
     # Enumerate by number of boundaries, fewest first (coarsest fusion).
     for k in range(0, n):
         for cut in itertools.combinations(boundaries, k):
@@ -63,21 +86,127 @@ def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[i
                 [list(range(a, b)) for a, b in zip(edges, edges[1:])]
             )
             if len(partitions) >= max_partitions:
-                return partitions
+                truncated = True
+                break
+        if truncated:
+            break
+    total = partition_space_size(n)
+    if truncated and total > len(partitions):
+        warnings.warn(
+            f"contiguous_partitions: kept {len(partitions)} of {total} "
+            f"partitions (enumeration cap {max_partitions} — from "
+            "max_candidates split across the split axis when called via "
+            "enumerate_schedules/autotune); the kept subset is "
+            "deterministic (fewest boundaries first, lexicographic cuts) "
+            "but the schedule space is no longer exhaustive",
+            stacklevel=2,
+        )
     return partitions
 
 
+def _split_suffix(config: Mapping[str, int]) -> str:
+    """Stable schedule-name suffix for one split configuration."""
+    if not config:
+        return ""
+    inner = ",".join(f"{idx}={tiles}" for idx, tiles in sorted(config.items()))
+    return f"+split({inner})"
+
+
+def _dedupe_configs(
+    splits: Optional[Sequence[Mapping[str, int]]],
+) -> List[Dict[str, int]]:
+    """The split-axis configurations, unsplit first, duplicates dropped.
+
+    The exact no-op tile count 1 is normalized away (the split-indices
+    pass no-ops it), so ``{'x1': 1}`` collapses into the unsplit baseline
+    instead of consuming candidate budget on a byte-identical duplicate.
+    Invalid counts (< 1) raise — the same loud rejection
+    ``Schedule.validate``/``SweepPoint.validate`` give them — rather than
+    silently degrading the search to fusion-only.
+    """
+    configs: List[Dict[str, int]] = [{}]
+    for config in splits or ():
+        for idx, tiles in config.items():
+            validate_split_item(idx, tiles)
+        frozen = {idx: tiles for idx, tiles in config.items() if tiles > 1}
+        if frozen and frozen not in configs:
+            configs.append(frozen)
+    return configs
+
+
+def _enumeration_plan(
+    n: int,
+    max_candidates: int,
+    splits: Optional[Sequence[Mapping[str, int]]],
+) -> Tuple[List[Dict[str, int]], int, int]:
+    """Shared budget arithmetic for the (partition × split-config) space.
+
+    The single source of truth behind both :func:`enumerate_schedules`
+    (which enumerates) and :func:`autotune` (which reports the drop count)
+    — duplicating the integer division in two places is how the reported
+    numbers drift from the enumerated ones.
+
+    Returns
+    -------
+    tuple
+        ``(configs, kept_partitions, partitions_dropped)``: the deduped
+        split configurations (unsplit first), how many contiguous
+        partitions fit the ``max_candidates`` budget, and how many of the
+        full 2^(n-1) space that leaves out.
+    """
+    configs = _dedupe_configs(splits)
+    per_partition = max(1, max_candidates // len(configs))
+    space = partition_space_size(n)
+    kept = min(per_partition, space)
+    return configs, kept, space - kept
+
+
 def enumerate_schedules(
-    program: EinsumProgram, max_candidates: int = 64
+    program: EinsumProgram,
+    max_candidates: int = 64,
+    splits: Optional[Sequence[Mapping[str, int]]] = None,
 ) -> List[Schedule]:
-    """Candidate fusion schedules: contiguous region partitions."""
+    """Candidate schedules: contiguous fusion partitions × split configs.
+
+    Parameters
+    ----------
+    program:
+        The program whose statements are partitioned.
+    max_candidates:
+        Cap on the *total* candidate count (partitions × split configs).
+    splits:
+        Optional split-axis configurations (index variable -> tile count);
+        each fusion partition is paired with every config, so the
+        autotuner co-optimizes tiling against fusion granularity.  The
+        empty config (no splitting) is always included first, and
+        duplicate configs are dropped.  ``None`` enumerates fusion only.
+    """
     n = len(program.statements)
-    schedules = []
-    for i, partition in enumerate(contiguous_partitions(n, max_candidates)):
-        name = f"auto-{i}" if len(partition) not in (1, n) else (
+    configs, kept_partitions, _ = _enumeration_plan(n, max_candidates, splits)
+    schedules: List[Schedule] = []
+    for i, partition in enumerate(contiguous_partitions(n, kept_partitions)):
+        base = f"auto-{i}" if len(partition) not in (1, n) else (
             "auto-fully-fused" if len(partition) == 1 else "auto-unfused"
         )
-        schedules.append(fused_groups(program, partition, name=name))
+        for config in configs:
+            if len(schedules) >= max_candidates:
+                # Only reachable when max_candidates < len(configs): the
+                # budget cannot even cover one partition's split variants.
+                # Surface it — the module contract is that truncation is
+                # never silent.
+                warnings.warn(
+                    f"enumerate_schedules: candidate cap {max_candidates} "
+                    f"cannot cover the {len(configs)} split configuration(s) "
+                    "of a single fusion partition; trailing configs were "
+                    "dropped (raise max_candidates)",
+                    stacklevel=2,
+                )
+                return schedules
+            schedule = fused_groups(
+                program, partition, name=base + _split_suffix(config)
+            )
+            schedule.splits = dict(config)
+            schedules.append(schedule)
     return schedules
 
 
@@ -90,8 +219,9 @@ def autotune(
     simulate_top: int = 3,
     max_candidates: int = 64,
     session: Session | None = None,
+    splits: Optional[Sequence[Mapping[str, int]]] = None,
 ) -> TunedSchedule:
-    """Pick the best fusion schedule via heuristic pruning + simulation.
+    """Pick the best schedule via heuristic pruning + simulation.
 
     Candidate schedules that fail to compile (infeasible streaming under the
     POG) are skipped — an unfused boundary always exists as a fallback.
@@ -100,13 +230,34 @@ def autotune(
     every simulated candidate lands in the session's compile cache, so the
     returned winner's :attr:`TunedSchedule.executable` — and any later
     ``session.compile`` of the tuned schedule — costs no further lowering.
+
+    ``splits`` adds a bounded index-splitting axis to the enumeration
+    (ignored when explicit ``candidates`` are given): each fusion partition
+    is paired with every split configuration, so under a memory-hierarchy
+    session the tuner co-optimizes tiling against fusion granularity.  The
+    analytical heuristic does not model tiling, so split variants of a
+    partition tie on their estimate and the simulate-top-k stage is what
+    separates them — raise ``simulate_top`` accordingly when sweeping
+    splits.
+
+    Enumeration truncation is surfaced, never silent: when the
+    ``max_candidates`` cap drops contiguous partitions, the drop count
+    lands in :attr:`TunedSchedule.partitions_dropped` (and
+    ``contiguous_partitions`` warns); the kept subset is deterministic.
     """
     if session is None:
         session = Session(machine=machine or RDA_MACHINE)
     machine = machine or session.machine
-    candidates = list(candidates) if candidates else enumerate_schedules(
-        program, max_candidates
-    )
+    partition_space = 0
+    partitions_dropped = 0
+    if candidates:
+        candidates = list(candidates)
+    else:
+        candidates = enumerate_schedules(program, max_candidates, splits=splits)
+        partition_space = partition_space_size(len(program.statements))
+        _, _, partitions_dropped = _enumeration_plan(
+            len(program.statements), max_candidates, splits
+        )
     heuristic = FusionHeuristic(program, stats)
     scored: List[Tuple[float, Schedule]] = []
     for schedule in candidates:
@@ -154,4 +305,6 @@ def autotune(
         candidates_simulated=simulated,
         ranking=ranking,
         executable=winner,
+        partition_space=partition_space,
+        partitions_dropped=partitions_dropped,
     )

@@ -7,6 +7,11 @@ A :class:`Schedule` captures every knob the paper exposes to users:
 * **dataflow ordering** — per-region global orders and per-statement local
   order constraints (added to the POG);
 * **parallelization** — per-index-variable parallelization factors;
+* **index splitting** — per-index-variable tile counts: the region iterates
+  an outer tile index and streams one tile of the split dimension at a
+  time, shrinking the resident footprint of cross-region intermediates
+  (the knob that turns spill traffic back into on-chip traffic under a
+  memory hierarchy — see the ``split-indices`` pass);
 * **mask folding** — whether elementwise masking folds into producing
   contractions (SDDMM-style);
 * **global rewrite** — the Custard/Stardust-style manual rewrite that merges
@@ -24,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..einsum.ast import EinsumProgram
+from .split import validate_split_item
 
 
 class ScheduleError(ValueError):
@@ -42,6 +48,11 @@ class Schedule:
     stmt_orders: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
     # Index variable -> parallelization factor.
     par: Dict[str, int] = field(default_factory=dict)
+    # Index variable -> tile count (index splitting).  Like ``par``, names
+    # live in the unified per-region index namespace; an index that no
+    # region iterates is skipped by the split-indices pass (with a
+    # diagnostic), so one splits dict can broadcast across granularities.
+    splits: Dict[str, int] = field(default_factory=dict)
     fold_masks: bool = True
     global_rewrite: bool = False
 
@@ -62,6 +73,11 @@ class Schedule:
                 raise ScheduleError(
                     f"region {region} must list statements in program order"
                 )
+        for index_var, tiles in self.splits.items():
+            try:
+                validate_split_item(index_var, tiles)
+            except ValueError as exc:
+                raise ScheduleError(str(exc)) from None
 
     def fingerprint(self) -> str:
         """Stable content hash over every knob the compiler reads.
@@ -79,6 +95,13 @@ class Schedule:
             f"fold_masks {self.fold_masks}",
             f"global_rewrite {self.global_rewrite}",
         ]
+        # Appended only when effective so fingerprints never churn on
+        # no-ops: pre-splitting schedules and tile-count-1 entries (which
+        # the split-indices pass skips) hash identically to unsplit —
+        # byte-identical compiles must share one cache entry.
+        effective_splits = {k: v for k, v in self.splits.items() if v > 1}
+        if effective_splits:
+            parts.append(f"splits {sorted(effective_splits.items())}")
         return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     def describe(self) -> str:
@@ -88,6 +111,8 @@ class Schedule:
             parts.append(f"  region {i}: statements {region}{extra}")
         if self.par:
             parts.append(f"  parallelization: {self.par}")
+        if self.splits:
+            parts.append(f"  index splits: {self.splits}")
         if self.global_rewrite:
             parts.append("  global-iteration rewrite (C+S style)")
         return "\n".join(parts)

@@ -32,6 +32,10 @@ class RegionDiagnostics:
     node_count: int = 0
     # Views resolved by materializing a permuted copy (POG cycle breaks).
     transposed_views: int = 0
+    # Index splits applied to this region (split-indices pass): index
+    # variable -> tile count, after filtering to indices the region
+    # actually iterates.
+    split_indices: Dict[str, int] = field(default_factory=dict)
     # Memory placement (place-memory pass): nodes served by the on-chip
     # buffer, region outputs that spilled to DRAM, and the cumulative
     # on-chip bytes reserved after this region compiled.
@@ -89,6 +93,13 @@ class CompileDiagnostics:
                 bits.append("pinned order")
             if region.transposed_views:
                 bits.append(f"{region.transposed_views} permuted copy(ies)")
+            if region.split_indices:
+                bits.append(
+                    "split "
+                    + ",".join(
+                        f"{idx}/{t}" for idx, t in region.split_indices.items()
+                    )
+                )
             if region.sram_placed:
                 bits.append(
                     f"{region.sram_placed} node(s) on-chip "

@@ -33,6 +33,12 @@ from ..core.fusion.fuse import (
 )
 from ..core.schedule.par import apply_parallelization
 from ..core.schedule.schedule import Schedule
+from ..core.schedule.split import (
+    apply_split,
+    is_tile_index,
+    split_footprint_scale,
+    tile_index_name,
+)
 from ..core.tables.lower import LoweringError, OutputSpec, RegionLowerer
 from ..sam.graph import SAMGraph
 from .diagnostics import RegionDiagnostics
@@ -49,6 +55,10 @@ class RegionState:
     fused: Optional[FusedEinsum] = None
     graph: Optional[SAMGraph] = None
     order: Optional[List[str]] = None
+    # Index splits that apply to this region (split-indices pass), in the
+    # schedule's declaration order; lower-region materializes them as an
+    # outer tile index + node tile factors, place-memory scales footprints.
+    splits: Dict[str, int] = field(default_factory=dict)
     output_specs: List[OutputSpec] = field(default_factory=list)
     table_text: str = ""
     transposes: List[Tuple[str, str, Tuple[int, ...]]] = field(default_factory=list)
@@ -93,6 +103,10 @@ class Pass:
     name: str = "pass"
     #: RegionState attributes that must be populated before this pass runs.
     requires: Tuple[str, ...] = ()
+    #: RegionState attributes that must NOT yet be populated — for passes
+    #: whose decisions a later pass materializes (running them after the
+    #: materializer would silently decide things nothing ever applies).
+    forbids: Tuple[str, ...] = ()
 
     def config(self) -> Tuple:
         """Hashable parameterization, folded into pipeline fingerprints."""
@@ -203,6 +217,62 @@ class MergeContractions(Pass):
 
 
 @register_pass
+class SplitIndices(Pass):
+    """Schedule index splitting (tiling) for the region before lowering.
+
+    The classic third axis of spatial-accelerator scheduling next to fusion
+    granularity and parallelization: ``Schedule.splits`` maps an index
+    variable to a tile count, and the region then iterates an outer tile
+    index, streaming one tile of the split dimension at a time.
+
+    This pass runs *before* ``lower-region``: it decides which of the
+    schedule's splits the region actually iterates (names live in the
+    unified per-region index namespace, exactly like ``Schedule.par``) and
+    records them on the region state.  Lowering then materializes the
+    decision — prepending the synthetic outer tile index to the dataflow
+    order and annotating every node inside the tiled loop with its tile
+    factor (via :func:`~repro.core.schedule.split.apply_split`) — and
+    ``place-memory`` divides the dense-estimate footprint of each tiled
+    region output by its tile scale, which is what lets a split convert
+    DRAM spill traffic into on-chip traffic.
+
+    The functional results are untouched: tiling iterates the same
+    coordinates in the same order, just in ``T`` contiguous chunks, so a
+    split schedule is bit-exact against its unsplit counterpart.
+    """
+
+    name = "split-indices"
+    requires = ("fused",)
+    # Lowering is what materializes the decision (tile index + node tile
+    # factors) and place-memory scales footprints from it; scheduled splits
+    # that lowering never sees would claim tiling's capacity benefit while
+    # modeling none of its cost.
+    forbids = ("graph",)
+
+    def run(self, ctx: PassContext, region: RegionState) -> None:
+        """Record the schedule splits this region iterates."""
+        if not ctx.schedule.splits:
+            region.diag.skipped_passes[self.name] = "schedule has no splits"
+            return
+        region_indices = {
+            idx for stmt in region.fused.statements for idx in stmt.all_indices()
+        }
+        applied: Dict[str, int] = {}
+        for index_var, tiles in ctx.schedule.splits.items():
+            if tiles <= 1:
+                continue
+            if index_var in region_indices:
+                applied[index_var] = tiles
+        if not applied:
+            region.diag.skipped_passes[self.name] = (
+                "no split index iterated by this region"
+            )
+            return
+        region.splits = applied
+        region.diag.split_indices = dict(applied)
+
+
+@register_pass
 class LowerRegion(Pass):
     """Lower through fusion tables, walking valid dataflow orders.
 
@@ -231,6 +301,8 @@ class LowerRegion(Pass):
         lowerer, graph, order = self._lower_with_fallback(region, ctx.decls, pinned)
         region.graph = graph
         region.order = list(order)
+        if region.splits:
+            self._materialize_splits(region)
         region.output_specs = list(lowerer.output_specs)
         region.table_text = lowerer.table.render()
         region.transposes = [
@@ -282,6 +354,44 @@ class LowerRegion(Pass):
             f"no valid dataflow order lowers region {fused.name}; "
             f"last error: {errors[-1] if errors else 'none'}"
         )
+
+    @staticmethod
+    def _materialize_splits(region: RegionState) -> None:
+        """Realize the splits the ``split-indices`` pass scheduled.
+
+        Splitting is decided before lowering (footprint scaling and order
+        rewriting both depend on it) but can only be materialized once the
+        graph exists: each applicable split tiles the nodes inside its
+        loop (``apply_split``) and the dataflow order gains the synthetic
+        outer tile index, outermost first — ``['k.t8', 'x1', 'k', ...]``
+        reads as "iterate 8 tiles of k, streaming each through the region".
+        A decided index the final order does not iterate (the lowerer fell
+        back to an order that dropped it) is discarded so placement
+        scaling and node annotation always agree.
+        """
+        lowered_order = list(region.order)
+        applied: Dict[str, int] = {}
+        dropped: List[str] = []
+        for index_var, tiles in region.splits.items():
+            if index_var not in lowered_order:
+                dropped.append(index_var)
+                continue
+            apply_split(region.graph, lowered_order, index_var, tiles)
+            applied[index_var] = tiles
+        if dropped:
+            region.diag.skipped_passes["split-indices"] = (
+                f"index(es) {dropped} not in lowered order {lowered_order}"
+            )
+        region.splits = applied
+        region.diag.split_indices = dict(applied)
+        # Prefix in the loop-nest's own order (position in the lowered
+        # order), not schedule-declaration order: splits={'x4':2,'x1':4}
+        # on order ['x1','x4',...] must read ['x1.t4','x4.t2',...].
+        prefix = [
+            tile_index_name(idx, applied[idx])
+            for idx in sorted(applied, key=lowered_order.index)
+        ]
+        region.order = prefix + lowered_order
 
     @staticmethod
     def _original_tensor(fused: FusedEinsum, key: Tuple[int, int]) -> str:
@@ -349,9 +459,16 @@ class PlaceMemory(Pass):
             tensor_name = getattr(prim, "tensor_name", None)
             if tensor_name is None:
                 continue
+            tile_scale = 1
             if prim.kind == "write":
-                level, role = self._place_output(
-                    ctx, hier, prim, tensor_name, program_outputs, consumed_later
+                level, role, tile_scale = self._place_output(
+                    ctx,
+                    hier,
+                    prim,
+                    tensor_name,
+                    program_outputs,
+                    consumed_later,
+                    region,
                 )
                 if role == "spill":
                     spilled += 1
@@ -368,6 +485,11 @@ class PlaceMemory(Pass):
                     level, role = "dram", "input"
             node.meta["mem_level"] = level
             node.meta["mem_role"] = role
+            if tile_scale > 1:
+                # Recorded only when the scaled estimate actually entered
+                # the capacity decision (cross-region intermediates) —
+                # program outputs are placed in DRAM before any scaling.
+                node.meta["mem_tile_scale"] = tile_scale
             if level == "sram":
                 node.meta["mem_bank"] = hier.sram.bank_of(tensor_name)
                 placed_sram += 1
@@ -397,20 +519,44 @@ class PlaceMemory(Pass):
         tensor_name: str,
         program_outputs: set,
         consumed_later: set,
-    ) -> Tuple[str, str]:
-        """Place one writer's tensor; returns (level, role)."""
+        region: RegionState,
+    ) -> Tuple[str, str, int]:
+        """Place one writer's tensor; returns (level, role, tile scale).
+
+        The tile scale is the resident-footprint divisor the capacity
+        check used; 1 for program outputs, whose DRAM placement never
+        consults the estimate.
+        """
         if tensor_name in program_outputs or tensor_name not in consumed_later:
-            return "dram", "output"
+            return "dram", "output", 1
         estimate = dense_estimate_bytes(prim.shape, getattr(prim, "fmt", None))
+        # Index splitting shrinks the *resident* footprint: with a mode of
+        # this tensor split T ways, only one of its T tiles occupies the
+        # buffer at a time (the region streams tile-by-tile), so the
+        # reservation divides by the tile scale.  Total traffic through
+        # the level is unchanged — capacity is what tiling buys.
+        scale = split_footprint_scale(
+            region.splits, self._output_indices(region, tensor_name)
+        )
+        if scale > 1:
+            estimate = max(8, -(-estimate // scale))
         if (
             hier.has_sram
             and ctx.sram_reserved + estimate <= hier.sram.capacity_bytes
         ):
             ctx.sram_reserved += estimate
             ctx.placements[tensor_name] = "sram"
-            return "sram", "intermediate"
+            return "sram", "intermediate", scale
         ctx.placements[tensor_name] = "dram"
-        return "dram", "spill"
+        return "dram", "spill", scale
+
+    @staticmethod
+    def _output_indices(region: RegionState, tensor_name: str) -> Tuple[str, ...]:
+        """The logical index variables (modes) of a region output tensor."""
+        for spec in region.output_specs:
+            if spec.name == tensor_name:
+                return tuple(spec.logical_indices)
+        return ()
 
 
 @register_pass
@@ -422,10 +568,16 @@ class Parallelize(Pass):
 
     def run(self, ctx: PassContext, region: RegionState) -> None:
         """Apply the schedule's parallelization factors to the graph."""
+        # Parallelization targets real loop levels only: the synthetic
+        # outer tile indices a split prepends (``x1.t8``) are sequential
+        # time-multiplexing, so duplicating lanes across one is
+        # meaningless — they are filtered out, and a par factor naming one
+        # is skipped like any other non-iterated index.
+        real_order = [idx for idx in region.order if not is_tile_index(idx)]
         applied = False
         for index_var, factor in ctx.schedule.par.items():
-            if index_var in region.order:
-                apply_parallelization(region.graph, region.order, index_var, factor)
+            if index_var in real_order:
+                apply_parallelization(region.graph, real_order, index_var, factor)
                 applied = True
         if not applied:
             region.diag.skipped_passes[self.name] = (

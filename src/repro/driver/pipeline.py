@@ -21,13 +21,16 @@ from .compiled import CompiledRegion
 from .diagnostics import CompileDiagnostics, RegionDiagnostics
 from .passes import PASS_REGISTRY, Pass, PassContext, RegionState
 
-#: The standard compile flow (paper Figure 6 plus memory placement):
+#: The standard compile flow (paper Figure 6 plus memory placement and
+#: index splitting): splitting is scheduled *before* lowering (the tile
+#: decision shapes the dataflow order and the placement footprints), and
 #: placement runs right after lowering so every materialized edge gets a
 #: hierarchy level before parallelization retimes the compute lanes.
 DEFAULT_PASS_ORDER: Tuple[str, ...] = (
     "fuse-regions",
     "fold-masks",
     "merge-contractions",
+    "split-indices",
     "lower-region",
     "place-memory",
     "parallelize",
@@ -200,6 +203,20 @@ class PassPipeline:
         """
         program.validate()
         schedule.validate(program)
+        if (
+            any(tiles > 1 for tiles in schedule.splits.values())
+            and "split-indices" not in self.names()
+        ):
+            # Unlike a hierarchy without place-memory (a meaningful
+            # placement ablation), splits without the split pass do
+            # literally nothing — compiling would produce results labeled
+            # as tiled that never were.
+            raise PipelineError(
+                f"schedule {schedule.name!r} requests index splits "
+                f"{schedule.splits} but this pipeline has no "
+                f"'split-indices' pass ({self.names()}); add the pass or "
+                "clear schedule.splits"
+            )
         diagnostics = CompileDiagnostics(
             program=program.name,
             schedule=schedule.name,
@@ -255,6 +272,15 @@ class PassPipeline:
                 f"pass {pass_.name!r} needs region state {missing} which no "
                 "earlier pass produced; is the pipeline missing or "
                 "misordering its producer?"
+            )
+        premature = [
+            attr for attr in pass_.forbids if getattr(state, attr) is not None
+        ]
+        if premature:
+            raise PipelineError(
+                f"pass {pass_.name!r} must run before region state "
+                f"{premature} exists (a later pass materializes its "
+                "decisions); is the pipeline misordered?"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

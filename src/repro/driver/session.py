@@ -2,9 +2,11 @@
 
 A :class:`Session` owns a simulated machine and a :class:`PassPipeline`,
 and memoizes compilation: the cache key is the canonical content
-fingerprint of the program, the schedule, and the pipeline configuration,
-so any in-place mutation of a schedule (or a differently configured
-pipeline) misses the cache rather than serving a stale executable, while
+fingerprint of the program, the schedule, and the pipeline configuration
+— every knob the compiler reads, fusion regions through ``par`` and
+``splits`` — so any in-place mutation of a schedule (or a differently
+configured pipeline) misses the cache rather than serving a stale
+executable, while
 repeated identical compiles — autotuning sweeps, benchmark loops, serving
 the same model over and over — return the same :class:`Executable` object
 at dictionary-lookup cost.

@@ -1,24 +1,29 @@
-"""Legacy compile/execute entry points, now thin shims over :mod:`repro.driver`.
+"""DEPRECATED legacy compile/execute entry points — use :class:`repro.driver.Session`.
 
-The pipeline orchestration itself lives in the driver subsystem: named
-passes (:mod:`repro.driver.passes`) run by a :class:`~repro.driver.PassPipeline`
+The pipeline orchestration lives in the driver subsystem: named passes
+(:mod:`repro.driver.passes`) run by a :class:`~repro.driver.PassPipeline`
 under a caching :class:`~repro.driver.Session`.  These free functions keep
-the original seed API working unchanged — same signatures, same returned
-dataclasses — while routing everything through one process-wide default
-session, so repeated calls (sweeps, benchmarks, autotuning) no longer pay
-full compile cost each time.
+the original seed API importable — same signatures, same returned
+dataclasses, routed through one process-wide default session — but every
+call now emits a :class:`DeprecationWarning`: the Session API exposes
+everything this module does plus the knobs that came after it (memory
+hierarchies, columnar streams, compile diagnostics, index splitting).
 
-Prefer the Session API in new code::
+Migrate by replacing the free functions with a session::
 
     from repro import Session
 
     session = Session()
     exe = session.compile(program, schedule)   # cached by fingerprint
     result = exe(binding)                      # or exe.run(A=..., X=...)
+
+(``run(program, binding, schedule)`` becomes ``session.run(...)`` with the
+same signature; ``compare_schedules`` lives on the session too.)
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Sequence
 
 from .comal.machines import Machine, RDA_MACHINE
@@ -44,16 +49,32 @@ __all__ = [
 ]
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    """Emit the module's call-time deprecation warning.
+
+    Call-time (not import-time) because :mod:`repro` re-exports these
+    functions eagerly — an import-time warning would fire on every
+    ``import repro`` regardless of whether the legacy API is used.
+    """
+    warnings.warn(
+        f"repro.pipeline.{name} is deprecated; use {replacement} instead "
+        "(see repro.driver.Session)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def compile_program(
     program: EinsumProgram, schedule: Schedule | None = None
 ) -> CompiledProgram:
-    """Compile ``program`` under ``schedule`` (default: unfused).
+    """Deprecated: compile ``program`` under ``schedule`` (default: unfused).
 
     The result is served from the default session's cache: fingerprint-
     identical calls return the *same* :class:`CompiledProgram` object.
     Treat it as immutable — mutating it would corrupt the cached
     executable for every later identical compile in the process.
     """
+    _deprecated("compile_program", "Session.compile(program, schedule)")
     return default_session().compile(program, schedule).compiled
 
 
@@ -62,7 +83,8 @@ def execute(
     binding: Dict[str, SparseTensor],
     machine: Machine = RDA_MACHINE,
 ) -> ProgramResult:
-    """Run all region graphs in order, chaining materialized outputs."""
+    """Deprecated: run all region graphs in order, chaining outputs."""
+    _deprecated("execute", "calling the Executable from Session.compile")
     return execute_compiled(compiled, binding, machine)
 
 
@@ -72,7 +94,8 @@ def run(
     schedule: Schedule | None = None,
     machine: Machine = RDA_MACHINE,
 ) -> ProgramResult:
-    """Compile (cached) and execute in one call."""
+    """Deprecated: compile (cached) and execute in one call."""
+    _deprecated("run", "Session.run(program, binding, schedule)")
     executable = default_session().compile(program, schedule)
     return executable(binding, machine=machine)
 
@@ -83,8 +106,12 @@ def compare_schedules(
     schedules: Sequence[Schedule],
     machine: Machine = RDA_MACHINE,
 ) -> Dict[str, ProgramResult]:
-    """Run the program under several schedules (fusion sweeps)."""
+    """Deprecated: run the program under several schedules (fusion sweeps)."""
+    _deprecated("compare_schedules", "Session.compare_schedules")
+    session = default_session()
     return {
-        schedule.name: run(program, binding, schedule, machine)
+        schedule.name: session.compile(program, schedule)(
+            binding, machine=machine
+        )
         for schedule in schedules
     }

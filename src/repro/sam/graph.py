@@ -42,6 +42,11 @@ class Node:
     region: str = "compute"
     index_var: Optional[str] = None
     par_factor: int = 1
+    # Tile-sequential execution factor (index splitting): the node's token
+    # stream is processed in this many back-to-back tile passes, each tile
+    # boundary costing one pipeline fill/drain in the timed engine.  1 means
+    # flat (un-tiled) execution — bit-identical to the pre-splitting model.
+    tile_factor: int = 1
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -239,7 +244,8 @@ class SAMGraph:
             )
             tag = f" [{node.region}]"
             par = f" x{node.par_factor}" if node.par_factor > 1 else ""
-            lines.append(f"  {nid}: {node.prim.describe()}{tag}{par} ({ins})")
+            tiles = f" t{node.tile_factor}" if node.tile_factor > 1 else ""
+            lines.append(f"  {nid}: {node.prim.describe()}{tag}{par}{tiles} ({ins})")
         for label, port in sorted(self.outputs.items()):
             lines.append(f"  output {label} = {port.node_id}.{port.port}")
         return "\n".join(lines)

@@ -16,18 +16,32 @@ from typing import Dict, List, Optional, Tuple
 
 from ..comal.metrics import format_table
 
-GroupKey = Tuple[str, str, str, str, str]
+GroupKey = Tuple[str, str, str, str, str, str]
 
 
 def _group_key(record: Dict[str, object]) -> GroupKey:
-    """Speedup grouping: everything but the schedule must match."""
+    """Speedup grouping: everything but the schedule must match.
+
+    The splits axis is part of the key (like the hierarchy axis): a tiled
+    and an untiled point share a schedule name, so omitting it would let
+    them overwrite each other's cycles in the speedup table.  Pre-splitting
+    records have no ``splits`` field and group under the empty config —
+    and the pipeline is rendered via ``SweepPoint.grouping_pipeline`` (the
+    same helper point IDs use) so resumed pre-splitting records land in
+    the same group as their newly-computed siblings.
+    """
+    from .spec import SweepPoint
+
     point = record["point"]
+    splits = point.get("splits") or {}
+    pipeline = SweepPoint.grouping_pipeline(point["pipeline"], splits)
     return (
         point["model"],
         point["dataset"],
         point["machine"],
         point.get("hierarchy", "flat"),
-        "+".join(point["pipeline"]),
+        "+".join(pipeline),
+        ",".join(f"{k}={v}" for k, v in sorted(splits.items())),
     )
 
 
@@ -49,7 +63,7 @@ def summarize(
         output / :meth:`~repro.sweep.store.ResultStore.records`).
     baseline_schedule:
         The schedule speedups are computed against, within each
-        (model, dataset, machine, hierarchy, pipeline) group.
+        (model, dataset, machine, hierarchy, pipeline, splits) group.
     name:
         Sweep name echoed into the summary.
 
@@ -96,6 +110,7 @@ def summarize(
             "machine": key[2],
             "hierarchy": key[3],
             "pipeline": key[4],
+            "splits": key[5],
             "cycles": cycles_by_schedule,
             "baseline": baseline_schedule,
             "speedup": {
@@ -170,6 +185,8 @@ def render_summary(summary: Dict[str, object]) -> str:
             group = f"{entry['model']}/{entry['dataset']}/{entry['machine']}"
             if entry.get("hierarchy", "flat") != "flat":
                 group += f"/{entry['hierarchy']}"
+            if entry.get("splits"):
+                group += f"/split:{entry['splits']}"
             for schedule, speedup in sorted(entry["speedup"].items()):
                 rows.append(
                     [

@@ -115,6 +115,7 @@ def run_point(point: SweepPoint) -> Dict[str, object]:
         session = _session_for(point.machine, point.pipeline, point.hierarchy)
         schedule = bundle.schedule(point.schedule)
         schedule.par = dict(point.par)
+        schedule.splits = dict(point.splits)
         before = session.cache_info()
         executable = session.compile(bundle.program, schedule)
         cache_hit = session.cache_info().hits > before.hits

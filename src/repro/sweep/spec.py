@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..comal.hierarchy import resolve_hierarchy
 from ..comal.machines import MACHINES
+from ..core.schedule.split import validate_split_item
 from ..data.registry import GPT3_DATASET, GRAPH_DATASETS, SAE_DATASETS
 from ..driver.pipeline import DEFAULT_PASS_ORDER
 from ..models.common import ModelBundle
@@ -64,6 +65,11 @@ class SweepPoint:
         Keyword overrides for the model builder, sorted for hashability.
     par:
         Index-variable parallelization factors applied to the schedule.
+    splits:
+        Index-variable tile counts (index splitting) applied to the
+        schedule; indices a model's regions do not iterate are skipped by
+        the ``split-indices`` pass, so one config can broadcast across
+        models.
     hierarchy:
         Memory-hierarchy preset name (``"flat"`` reproduces the DRAM-only
         simulator); accepts the ``preset@capacity_bytes`` form so sweeps
@@ -79,6 +85,8 @@ class SweepPoint:
     model_args: Tuple[Tuple[str, object], ...] = ()
     # Index-variable parallelization factors applied to the schedule.
     par: Tuple[Tuple[str, int], ...] = ()
+    # Index-variable tile counts applied to the schedule (index splitting).
+    splits: Tuple[Tuple[str, int], ...] = ()
     # Memory-hierarchy preset (see repro.comal.hierarchy.HIERARCHIES).
     hierarchy: str = "flat"
 
@@ -92,9 +100,24 @@ class SweepPoint:
         pipeline: Sequence[str] = DEFAULT_PASS_ORDER,
         model_args: Optional[Dict[str, object]] = None,
         par: Optional[Dict[str, int]] = None,
+        splits: Optional[Dict[str, int]] = None,
         hierarchy: str = "flat",
     ) -> "SweepPoint":
-        """Build a point from plain dict/list arguments."""
+        """Build a point from plain dict/list arguments.
+
+        The exact no-op tile count 1 is normalized away: the split-indices
+        pass no-ops it, so ``splits={'x1': 1}`` must collapse into the
+        unsplit baseline (same point ID, no duplicate compile) rather than
+        masquerade as a distinct tiled configuration.  Invalid counts
+        (0, negatives, bools) are kept so :meth:`validate` rejects them.
+        """
+        # Only the exact no-op (1) collapses; invalid counts (0, -3, bools,
+        # non-ints) are kept so validate() rejects them loudly.
+        normalized = {
+            k: v
+            for k, v in (splits or {}).items()
+            if not (isinstance(v, int) and not isinstance(v, bool) and v == 1)
+        }
         return cls(
             model=model,
             dataset=dataset,
@@ -103,6 +126,7 @@ class SweepPoint:
             pipeline=tuple(pipeline),
             model_args=_freeze_args(model_args),
             par=_freeze_args(par),  # type: ignore[arg-type]
+            splits=_freeze_args(normalized),  # type: ignore[arg-type]
             hierarchy=hierarchy,
         )
 
@@ -137,10 +161,33 @@ class SweepPoint:
             resolve_hierarchy(self.hierarchy)
         except ValueError as exc:
             raise SweepSpecError(str(exc)) from None
+        for index_var, tiles in self.splits:
+            try:
+                validate_split_item(index_var, tiles)
+            except ValueError as exc:
+                raise SweepSpecError(str(exc)) from None
 
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
+    @staticmethod
+    def grouping_pipeline(pipeline, splits) -> List[str]:
+        """Pipeline rendering for point IDs and report grouping.
+
+        Without splits, the split-indices pass is a no-op, so a pipeline
+        containing it compiles byte-identically to one without it; it is
+        dropped from the rendering in that case so pre-splitting results
+        files keep their point IDs (`sweep resume` compatibility) and old
+        records share speedup groups with new ones.  With splits present
+        the full pipeline is used — an explicit with/without-split-indices
+        ablation then gets distinct IDs.  The report's ``_group_key``
+        calls this same helper so the two renderings cannot drift.
+        """
+        names = list(pipeline)
+        if not splits:
+            names = [n for n in names if n != "split-indices"]
+        return names
+
     def fingerprint(self) -> str:
         """Stable content hash over every field the experiment reads.
 
@@ -153,12 +200,13 @@ class SweepPoint:
         # spec broadcasting e.g. {'nodes', 'density'} across models gives
         # the same ID as one listing only the relevant keys.
         args = _filtered_args(self.model, dict(self.model_args))
+        pipeline_for_id = self.grouping_pipeline(self.pipeline, self.splits)
         parts = [
             f"model {self.model}",
             f"dataset {self.dataset}",
             f"schedule {self.schedule}",
             f"machine {self.machine}",
-            f"pipeline {list(self.pipeline)}",
+            f"pipeline {pipeline_for_id}",
             f"model_args {sorted(args.items())}",
             f"par {sorted(self.par)}",
         ]
@@ -169,6 +217,9 @@ class SweepPoint:
         # is correct-but-wasteful since the default compile flow changed.)
         if self.hierarchy != "flat":
             parts.append(f"hierarchy {self.hierarchy}")
+        # Same idiom for the split axis: unsplit points keep their IDs.
+        if self.splits:
+            parts.append(f"splits {sorted(self.splits)}")
         return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     @property
@@ -193,6 +244,8 @@ class SweepPoint:
             bits.append("+".join(self.pipeline))
         if self.par:
             bits.append(",".join(f"{k}={v}" for k, v in self.par))
+        if self.splits:
+            bits.append("split:" + ",".join(f"{k}={v}" for k, v in self.splits))
         return "/".join(bits)
 
     # ------------------------------------------------------------------
@@ -208,6 +261,7 @@ class SweepPoint:
             "pipeline": list(self.pipeline),
             "model_args": dict(self.model_args),
             "par": dict(self.par),
+            "splits": dict(self.splits),
             "hierarchy": self.hierarchy,
         }
 
@@ -222,6 +276,9 @@ class SweepPoint:
             pipeline=record.get("pipeline", DEFAULT_PASS_ORDER),
             model_args=record.get("model_args") or {},
             par=record.get("par") or {},
+            splits={
+                k: int(v) for k, v in (record.get("splits") or {}).items()
+            },
             hierarchy=record.get("hierarchy", "flat"),
         )
 
@@ -314,6 +371,11 @@ class SweepSpec:
     model_args: Dict[str, object] = field(default_factory=dict)
     # Parallelization factors broadcast to every grid point.
     par: Dict[str, int] = field(default_factory=dict)
+    # Index-splitting axis: each entry is one split configuration (index
+    # variable -> tile count) gridded against everything else; None means
+    # unsplit only.  An empty dict entry is the explicit unsplit baseline,
+    # so `splits=[{}, {"x1": 8}]` compares tiled vs untiled point-for-point.
+    splits: Optional[List[Dict[str, int]]] = None
     # Explicit extra points appended after the grid.
     extra_points: List[SweepPoint] = field(default_factory=list)
     # The schedule speedups are reported against.
@@ -333,6 +395,10 @@ class SweepSpec:
         matched_datasets: set = set()
         pipelines = self.pipelines or [list(DEFAULT_PASS_ORDER)]
         hierarchies = self.hierarchies or ["flat"]
+        # Falsy (None or []) falls back to unsplit-only, matching how the
+        # pipelines axis treats an empty list — an empty split axis must
+        # not zero out the whole grid.
+        split_axis = self.splits or [{}]
         for model in self.models:
             datasets = self.datasets if self.datasets is not None else [SYNTHETIC]
             valid = set(compatible_datasets(model))
@@ -343,21 +409,23 @@ class SweepSpec:
                 for schedule in self.schedules:
                     for machine in self.machines:
                         for hierarchy in hierarchies:
-                            for pipeline in pipelines:
-                                point = SweepPoint.make(
-                                    model=model,
-                                    dataset=dataset,
-                                    schedule=schedule,
-                                    machine=machine,
-                                    pipeline=pipeline,
-                                    model_args=self.model_args,
-                                    par=self.par,
-                                    hierarchy=hierarchy,
-                                )
-                                point.validate()
-                                if point.point_id not in seen:
-                                    seen.add(point.point_id)
-                                    points.append(point)
+                            for split_config in split_axis:
+                                for pipeline in pipelines:
+                                    point = SweepPoint.make(
+                                        model=model,
+                                        dataset=dataset,
+                                        schedule=schedule,
+                                        machine=machine,
+                                        pipeline=pipeline,
+                                        model_args=self.model_args,
+                                        par=self.par,
+                                        splits=split_config,
+                                        hierarchy=hierarchy,
+                                    )
+                                    point.validate()
+                                    if point.point_id not in seen:
+                                        seen.add(point.point_id)
+                                        points.append(point)
         if self.datasets is not None:
             # A dataset no listed model can use is a typo or a missing
             # model, not cross-model mixing; silently shrinking the grid
@@ -400,6 +468,11 @@ class SweepSpec:
             "pipelines": self.pipelines,
             "model_args": dict(self.model_args),
             "par": dict(self.par),
+            "splits": (
+                None
+                if self.splits is None
+                else [dict(config) for config in self.splits]
+            ),
             "extra_points": [p.to_record() for p in self.extra_points],
             "baseline_schedule": self.baseline_schedule,
         }
@@ -417,6 +490,14 @@ class SweepSpec:
             pipelines=record.get("pipelines"),
             model_args=dict(record.get("model_args") or {}),
             par={k: int(v) for k, v in (record.get("par") or {}).items()},
+            splits=(
+                None
+                if record.get("splits") is None
+                else [
+                    {k: int(v) for k, v in config.items()}
+                    for config in record["splits"]
+                ]
+            ),
             extra_points=[
                 SweepPoint.from_record(p) for p in record.get("extra_points", [])
             ],

@@ -25,7 +25,10 @@ from repro.core.tables.lower import RegionLowerer
 from repro.core.einsum.parser import parse_program
 from repro.ftree import SparseTensor, csr, dense
 from repro.models.gcn import gcn_on_synthetic
-from repro.pipeline import run
+from repro.driver.session import default_session
+
+# Session-backed equivalent of the deprecated repro.pipeline.run shim.
+run = default_session().run
 
 
 class TestContiguousPartitions:

@@ -21,7 +21,10 @@ from repro.data.registry import (
 from repro.data.text import bigbird_mask, mask_sparsity, token_embeddings
 from repro.frontend.api import Linear, ModelBuilder
 from repro.ftree import csr
-from repro.pipeline import run
+from repro.driver.session import default_session
+
+# Session-backed equivalent of the deprecated repro.pipeline.run shim.
+run = default_session().run
 
 
 class TestGraphGenerators:

@@ -174,7 +174,10 @@ class TestSessionCache:
         # The fully-fused compile was served from cache.
         assert session.cache_info().hits == 1
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_legacy_shim_routes_through_default_session(self, gcn_layer):
+        # The shim is deprecated (see test_pipeline.py's TestDeprecation);
+        # this only pins that it still shares the default session's cache.
         prog, _, _ = gcn_layer
         schedule = fully_fused(prog)
         first = compile_program(prog, schedule)
@@ -199,7 +202,7 @@ class TestPassPipeline:
         prog, binding, expected = gcn_layer
         pipeline = PassPipeline.default().reordered(
             ["fuse-regions", "merge-contractions", "fold-masks",
-             "lower-region", "place-memory", "parallelize"]
+             "split-indices", "lower-region", "place-memory", "parallelize"]
         )
         exe = Session(pipeline=pipeline).compile(prog, fully_fused(prog))
         np.testing.assert_allclose(
@@ -210,7 +213,8 @@ class TestPassPipeline:
         prog, _, _ = gcn_layer
         pipeline = PassPipeline.default().reordered(
             ["parallelize", "fuse-regions", "fold-masks",
-             "merge-contractions", "lower-region", "place-memory"]
+             "merge-contractions", "split-indices", "lower-region",
+             "place-memory"]
         )
         with pytest.raises(PipelineError, match="parallelize"):
             Session(pipeline=pipeline).compile(prog, unfused(prog))

@@ -15,7 +15,10 @@ from repro.core.einsum.parser import parse_program
 from repro.core.schedule.autotune import contiguous_partitions
 from repro.core.schedule.schedule import cs_rewrite, fully_fused, fused_groups, unfused
 from repro.ftree import SparseTensor, csr, dense
-from repro.pipeline import run
+from repro.driver.session import default_session
+
+# Session-backed equivalent of the deprecated repro.pipeline.run shim.
+run = default_session().run
 
 
 def _chain_program(n_layers, dims, ops):

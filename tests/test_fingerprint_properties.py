@@ -59,10 +59,18 @@ def schedule_contents(draw):
     )
     fold_masks = draw(st.booleans())
     global_rewrite = draw(st.booleans())
+    splits = draw(
+        st.dictionaries(
+            st.sampled_from(["i", "j", "k", "x1", "x2"]),
+            st.sampled_from([2, 4, 8, 16]),
+            max_size=3,
+        )
+    )
     return {
         "name": draw(st.sampled_from(["s0", "partial", "tuned"])),
         "regions": regions,
         "par": par,
+        "splits": splits,
         "orders": orders,
         "stmt_orders": stmt_orders,
         "fold_masks": fold_masks,
@@ -73,6 +81,7 @@ def schedule_contents(draw):
 def _schedule_from(contents, shuffle_seed=None):
     """Build a Schedule, optionally shuffling every dict's insertion order."""
     par = contents["par"]
+    splits = contents["splits"]
     orders = contents["orders"]
     stmt_orders = contents["stmt_orders"]
     if shuffle_seed is not None:
@@ -83,13 +92,16 @@ def _schedule_from(contents, shuffle_seed=None):
             rng.shuffle(keys)
             return {k: d[k] for k in keys}
 
-        par, orders, stmt_orders = map(reordered, (par, orders, stmt_orders))
+        par, splits, orders, stmt_orders = map(
+            reordered, (par, splits, orders, stmt_orders)
+        )
     return Schedule(
         name=contents["name"],
         regions=[list(r) for r in contents["regions"]],
         orders=orders,
         stmt_orders=stmt_orders,
         par=par,
+        splits=splits,
         fold_masks=contents["fold_masks"],
         global_rewrite=contents["global_rewrite"],
     )
@@ -112,7 +124,7 @@ class TestScheduleFingerprint:
         mutated = _schedule_from(contents)
         mutation = data.draw(
             st.sampled_from(
-                ["fold_masks", "global_rewrite", "par", "regions", "name"]
+                ["fold_masks", "global_rewrite", "par", "splits", "regions", "name"]
             )
         )
         if mutation == "fold_masks":
@@ -121,6 +133,11 @@ class TestScheduleFingerprint:
             mutated.global_rewrite = not mutated.global_rewrite
         elif mutation == "par":
             mutated.par = {**mutated.par, "i": mutated.par.get("i", 1) * 2 + 1}
+        elif mutation == "splits":
+            mutated.splits = {
+                **mutated.splits,
+                "i": mutated.splits.get("i", 1) * 2 + 1,
+            }
         elif mutation == "regions":
             if len(mutated.regions) > 1:
                 # Merge the first two regions: a different fusion decision.

@@ -12,7 +12,10 @@ from repro.core.heuristic.model import (
 from repro.core.heuristic.prune import prune_schedules, rank_schedules, roofline_score
 from repro.comal import RDA_MACHINE
 from repro.models.gcn import gcn_on_synthetic
-from repro.pipeline import run
+from repro.driver.session import default_session
+
+# Session-backed equivalent of the deprecated repro.pipeline.run shim.
+run = default_session().run
 
 
 @pytest.fixture(scope="module")

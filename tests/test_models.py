@@ -11,7 +11,10 @@ from repro.models.gcn import build_gcn, gcn_on_synthetic
 from repro.models.gpt3 import build_gpt3
 from repro.models.graphsage import graphsage_on_synthetic
 from repro.models.sae import build_sae
-from repro.pipeline import run
+from repro.driver.session import default_session
+
+# Session-backed equivalent of the deprecated repro.pipeline.run shim.
+run = default_session().run
 
 GRANULARITIES = ("unfused", "partial", "full")
 

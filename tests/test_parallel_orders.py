@@ -17,7 +17,10 @@ from repro.core.tables.lower import RegionLowerer
 from repro.comal import run_timed
 from repro.ftree import SparseTensor, csr, dense
 from repro.models.gcn import gcn_on_synthetic
-from repro.pipeline import run
+from repro.driver.session import default_session
+
+# Session-backed equivalent of the deprecated repro.pipeline.run shim.
+run = default_session().run
 
 
 @pytest.fixture

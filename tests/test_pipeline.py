@@ -18,6 +18,12 @@ from repro.comal import FPGA_MACHINE, RDA_MACHINE
 from repro.core.schedule.schedule import Schedule, ScheduleError
 from repro.ftree import SparseTensor, csr, dense
 
+# This module is the regression suite for the deprecated repro.pipeline
+# shims (compile_program/execute/run/compare_schedules), so their
+# DeprecationWarning is expected noise everywhere except the test that
+# asserts it fires.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 GCN_LAYER = """
 tensor A(12, 12): csr
 tensor X(12, 6): dense
@@ -187,3 +193,32 @@ F(i, l) = E(i, j2) * B(l, j2)
         np.testing.assert_allclose(
             result.tensors["F"].to_dense(), (b @ c) @ b.T, atol=1e-12
         )
+
+
+class TestDeprecation:
+    """The legacy free functions warn and point at the Session API."""
+
+    def test_run_emits_deprecation_warning(self, gcn_layer):
+        prog, binding, expected = gcn_layer
+        with pytest.warns(DeprecationWarning, match="Session.run"):
+            result = run(prog, binding, unfused(prog))
+        np.testing.assert_allclose(
+            result.tensors["Y"].to_dense(), expected, atol=1e-12
+        )
+
+    def test_compile_program_emits_deprecation_warning(self, gcn_layer):
+        prog, _, _ = gcn_layer
+        with pytest.warns(DeprecationWarning, match="Session.compile"):
+            compile_program(prog, unfused(prog))
+
+    def test_execute_emits_deprecation_warning(self, gcn_layer):
+        prog, binding, _ = gcn_layer
+        with pytest.warns(DeprecationWarning):
+            compiled = compile_program(prog, unfused(prog))
+        with pytest.warns(DeprecationWarning, match="Executable"):
+            execute(compiled, binding)
+
+    def test_compare_schedules_emits_deprecation_warning(self, gcn_layer):
+        prog, binding, _ = gcn_layer
+        with pytest.warns(DeprecationWarning, match="Session.compare_schedules"):
+            compare_schedules(prog, binding, [unfused(prog)])
