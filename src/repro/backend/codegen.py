@@ -1,0 +1,1141 @@
+"""Code-generating backend: one compiled Python kernel per fusion region.
+
+Instead of walking the region graph node by node (paying a dict-dispatched
+``process`` call, an :class:`~repro.sam.primitives.base.ExecutionContext`,
+and per-port stream plumbing for every node on every execution), this
+backend walks the graph **once**, emits a single specialized Python source
+function that inlines every node's per-token logic — scanner/joiner/ALU/
+reduce/writer loops with the node's configuration folded in as constants
+and streams collapsed into local lists — compiles it with
+:func:`compile`/``exec``, and caches the artifact.
+
+Semantics are copied line for line from the legacy ``process`` kernels,
+which the columnar interpreter is differentially tested against, so the
+generated kernels inherit bit-exactness: identical streams, per-node
+statistics, result tensors, and therefore identical timed metrics (the
+timed engine reads only stream lengths, stats, and node metadata).
+
+Two cache levels:
+
+* per-graph (weak, validated by topological-order identity — the same
+  idiom as the timed engine's plan cache): repeated executions of one
+  graph reuse its compiled kernel;
+* per-source (keyed by the SHA-256 of the emitted source): structurally
+  identical regions from *different* graph objects share one code object
+  and pay ``compile()`` once per process.
+
+Regions containing a primitive kind the emitter does not know fall back
+to the columnar interpreter, per region, with a recorded reason — every
+model runs under ``--backend codegen`` regardless.
+
+Exceptions raised inside a generated kernel are re-raised with the node id
+and region name appended (protocol errors keep their type and message so
+``pytest.raises(..., match=...)`` assertions hold under
+``FUSEFLOW_BACKEND=codegen``); emitted sources are registered with
+:mod:`linecache` so tracebacks show real kernel lines, not ``<string>``.
+
+When :mod:`numba` is importable *and* ``FUSEFLOW_CODEGEN_NUMBA=1`` is set,
+kernels are additionally ``@njit``-wrapped, falling back to the plain
+compiled function on any numba typing failure (the kernels traffic in
+tuples, dicts, and tensor objects, which nopython mode typically rejects
+— see ``docs/backends.md`` for the caveats).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import linecache
+import os
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ftree.tensor import SparseTensor
+from ..sam.graph import SAMGraph
+from ..sam.primitives.base import NodeStats
+from ..sam.primitives.compute import _BINARY_OPS, _UNARY_OPS
+from ..sam.primitives.fiberops import _apply_over_fiber, _layernorm, _softmax
+from ..sam.primitives.joiner import _control_mismatch, _require_aligned
+from ..sam.token import StreamProtocolError, check_stream, stream_to_nest
+from .base import Backend
+
+__all__ = [
+    "CodegenBackend",
+    "CodegenError",
+    "RegionArtifact",
+    "artifact_for",
+    "codegen_cache_info",
+    "clear_codegen_caches",
+    "numba_available",
+    "try_run_codegen",
+]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class CodegenError(RuntimeError):
+    """A generated kernel failed for a non-protocol reason."""
+
+
+def numba_available() -> bool:
+    """Whether :mod:`numba` can be imported (never installs anything)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _numba_requested() -> bool:
+    return os.environ.get("FUSEFLOW_CODEGEN_NUMBA", "").lower() in _TRUTHY
+
+
+@dataclass
+class RegionArtifact:
+    """The compiled form of one region under the codegen backend.
+
+    Attributes
+    ----------
+    region : str
+        Name of the region graph this artifact was emitted from.
+    source : str
+        The emitted Python source (empty when the region fell back).
+    loc : int
+        Emitted lines of code.
+    node_count : int
+        Nodes of the region graph.
+    emit_seconds : float
+        Wall time spent emitting the source.
+    compile_seconds : float
+        Wall time spent in ``compile()``/``exec`` (0 on a code-cache hit).
+    fallback : str
+        Empty when the region compiled; otherwise the reason the region
+        runs on the columnar interpreter instead.
+    code_cached : bool
+        True when the code object came from the per-source cache.
+    uses_numba : bool
+        True when the kernel was additionally ``@njit``-wrapped.
+    fn : callable or None
+        The compiled kernel, or ``None`` when ``fallback`` is set.
+    sha : str
+        SHA-256 hex digest of ``source`` (the code-cache key).
+    """
+
+    region: str
+    source: str = ""
+    loc: int = 0
+    node_count: int = 0
+    emit_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    fallback: str = ""
+    code_cached: bool = False
+    uses_numba: bool = False
+    fn: Optional[Callable] = None
+    sha: str = ""
+
+
+# ----------------------------------------------------------------------
+# Caches
+# ----------------------------------------------------------------------
+
+#: graph -> (topological order list, artifact).  The order list's identity
+#: doubles as a structure-version tag: SAMGraph rebuilds it on mutation.
+_GRAPH_ARTIFACTS: "weakref.WeakKeyDictionary[SAMGraph, Tuple[Any, RegionArtifact]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: source sha -> compiled code object, shared across graphs.
+_CODE_CACHE: Dict[str, Any] = {}
+
+_COUNTERS = {
+    "artifact_hits": 0,
+    "artifact_misses": 0,
+    "code_hits": 0,
+    "code_misses": 0,
+    "fallbacks": 0,
+}
+
+
+def codegen_cache_info() -> Dict[str, int]:
+    """Snapshot of the artifact/code cache counters (for ``--profile``)."""
+    return dict(_COUNTERS)
+
+
+def clear_codegen_caches() -> None:
+    """Drop compiled artifacts and reset counters (tests only)."""
+    _GRAPH_ARTIFACTS.clear()
+    _CODE_CACHE.clear()
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# Shared kernel runtime (exec globals)
+# ----------------------------------------------------------------------
+
+
+def _get_tensor(binding: Dict[str, Any], name: str):
+    """Bound tensor lookup with the interpreter's error message."""
+    try:
+        return binding[name]
+    except KeyError:
+        raise KeyError(
+            f"tensor {name!r} not bound (have {sorted(binding)})"
+        ) from None
+
+
+def _dbg_check(stream, node_id: str, port_name: str) -> None:
+    """Per-stream protocol validation, worded like the interpreter's."""
+    if len(stream):
+        try:
+            check_stream(stream)
+        except StreamProtocolError as exc:
+            raise StreamProtocolError(
+                f"node {node_id} port {port_name!r}: {exc}"
+            ) from exc
+
+
+def _fibermax_fn(x: np.ndarray, axis: int) -> np.ndarray:
+    return np.broadcast_to(np.max(x, axis=axis, keepdims=True), x.shape).copy()
+
+
+_FIBER_FNS: Dict[str, Callable] = {
+    "softmax": _softmax,
+    "layernorm": _layernorm,
+    "fibermax": _fibermax_fn,
+}
+
+#: Names every generated kernel can reference.  Per-graph runtime objects
+#: (writer formats, source streams) are layered on top per exec.
+_SHARED_GLOBALS: Dict[str, Any] = {
+    "np": np,
+    "StreamProtocolError": StreamProtocolError,
+    "SparseTensor": SparseTensor,
+    "stream_to_nest": stream_to_nest,
+    "_apply_over_fiber": _apply_over_fiber,
+    "_require_aligned": _require_aligned,
+    "_control_mismatch": _control_mismatch,
+    "_get_tensor": _get_tensor,
+    "_dbg": _dbg_check,
+    "_BINARY_OPS": _BINARY_OPS,
+    "_UNARY_OPS": _UNARY_OPS,
+    "_FIBER_FNS": _FIBER_FNS,
+}
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+
+
+class _Unsupported(Exception):
+    """Raised by an emitter to trigger region-level interpreter fallback."""
+
+
+class _Emitter:
+    """Walks one region graph and emits its kernel source."""
+
+    def __init__(self, graph: SAMGraph, order: List[str]) -> None:
+        self.graph = graph
+        self.order = order
+        self.lines: List[str] = []
+        self.indent = 1
+        # Runtime objects the source cannot express literally, injected
+        # into the exec globals per graph (names are deterministic given
+        # the source, so sharing the code object across graphs is sound).
+        self.env: Dict[str, Any] = {}
+        # (node_id, port) -> local variable holding the stream.
+        self.var: Dict[Tuple[str, str], str] = {}
+
+    # -- infrastructure -------------------------------------------------
+    def w(self, line: str = "") -> None:
+        self.lines.append("    " * self.indent + line if line else "")
+
+    def emit(self) -> str:
+        self.lines.append(
+            "def _region_kernel(binding, stats, results, "
+            "scratchpad_bytes, debug_streams, _cur):"
+        )
+        self.w("_ET = (5, None)")
+        self.w("_DT = (4, None)")
+        for i, node_id in enumerate(self.order):
+            node = self.graph.nodes[node_id]
+            prim = node.prim
+            emitter = getattr(self, f"_emit_{prim.kind}", None)
+            if emitter is None:
+                raise _Unsupported(
+                    f"unsupported primitive kind {prim.kind!r} at node {node_id}"
+                )
+            self.w()
+            self.w(f"# -- {node_id}: {prim.describe()} --")
+            self.w(f"_cur[0] = {node_id!r}")
+            self.w(f"_st = stats[{node_id!r}]")
+            outs = [f"s{i}_{p}" for p in prim.out_ports]
+            emitter(i, node_id, node, prim)
+            for port, var in zip(prim.out_ports, outs):
+                self.var[(node_id, port)] = var
+            self.w("if debug_streams:")
+            for port, var in zip(prim.out_ports, outs):
+                self.w(f"    _dbg({var}, {node_id!r}, {port!r})")
+        self.w()
+        self.w("return {")
+        for node_id in self.order:
+            node = self.graph.nodes[node_id]
+            for port in node.prim.out_ports:
+                var = self.var[(node_id, port)]
+                self.w(f"    ({node_id!r}, {port!r}): {var},")
+        self.w("}")
+        return "\n".join(self.lines) + "\n"
+
+    def _in(self, node, port: str) -> str:
+        src = node.inputs[port]
+        return self.var[(src.node_id, src.port)]
+
+    def _bind(self, name: str, obj: Any) -> str:
+        self.env[name] = obj
+        return name
+
+    # -- per-kind emitters ----------------------------------------------
+    def _emit_root(self, i, node_id, node, prim) -> None:
+        self.w(f"s{i}_ref = [(1, 0), _DT]")
+        self.w("_st.tokens_out += 2")
+
+    def _emit_source(self, i, node_id, node, prim) -> None:
+        src = self._bind(f"_SRC{i}", prim.stream)
+        self.w(f"s{i}_out = list({src})")
+        self.w(f"_st.tokens_out += len(s{i}_out)")
+
+    def _emit_scan(self, i, node_id, node, prim) -> None:
+        ref_in = self._in(node, "ref")
+        dram = prim.dram
+        self.w(f"_t = _get_tensor(binding, {prim.tensor_name!r})")
+        self.w(f"_lvl = _t.levels[{prim.level}]")
+        self.w('_comp = _lvl.kind == "compressed"')
+        self.w(f"s{i}_crd = []")
+        self.w(f"s{i}_ref = []")
+        self.w(f"_ca = s{i}_crd.append")
+        self.w(f"_ra = s{i}_ref.append")
+        self.w("_open = False")
+        if dram:
+            self.w("_ab = 0")
+        self.w(f"_st.tokens_in += len({ref_in})")
+        self.w(f"for _tok in {ref_in}:")
+        self.w("    _k = _tok[0]")
+        self.w("    if _k == 1:")
+        self.w("        if _open:")
+        self.w("            _ca((3, 0))")
+        self.w("            _ra((3, 0))")
+        self.w("        _coords, _children = _lvl.fiber(_tok[1])")
+        self.w("        for _c, _ch in zip(_coords, _children):")
+        self.w("            _ca((0, _c))")
+        self.w("            _ra((1, _ch))")
+        if dram:
+            self.w("        if _comp:")
+            self.w("            _ab += 8 + 4 * len(_coords)")
+        self.w("        _open = True")
+        self.w("    elif _k == 5:")
+        self.w("        if _open:")
+        self.w("            _ca((3, 0))")
+        self.w("            _ra((3, 0))")
+        self.w("        _open = True")
+        self.w("    elif _k == 3:")
+        self.w("        _p = _tok[1] + 1")
+        self.w("        _ca((3, _p))")
+        self.w("        _ra((3, _p))")
+        self.w("        _open = False")
+        self.w("    elif _k == 4:")
+        self.w("        if _open:")
+        self.w("            _ca((3, 0))")
+        self.w("            _ra((3, 0))")
+        self.w("        _ca(_DT)")
+        self.w("        _ra(_DT)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"scanner got unexpected token kind {_k}\")"
+        )
+        if dram:
+            self.w("if _comp:")
+            self.w("    _fp = _t.bytes_structure()")
+            self.w("    if _fp <= scratchpad_bytes:")
+            self.w("        _st.dram_reads += min(_ab, _fp)")
+            self.w("    else:")
+            self.w("        _st.dram_reads += _ab")
+        self.w(f"_st.tokens_out += len(s{i}_crd) + len(s{i}_ref)")
+
+    def _emit_locate(self, i, node_id, node, prim) -> None:
+        crd_in = self._in(node, "crd")
+        dram = prim.dram
+        self.w(f"_t = _get_tensor(binding, {prim.tensor_name!r})")
+        self.w(f"_lvl = _t.levels[{prim.level}]")
+        self.w('_dense = _lvl.kind == "dense"')
+        self.w(f"s{i}_ref = []")
+        self.w(f"_o = s{i}_ref.append")
+        self.w(f"_st.tokens_in += len({crd_in})")
+        self.w(f"for _tok in {crd_in}:")
+        self.w("    _k = _tok[0]")
+        self.w("    if _k == 0:")
+        self.w("        if _dense:")
+        self.w("            _o((1, _tok[1]))")
+        self.w("        else:")
+        self.w("            _coords, _children = _lvl.fiber(0)")
+        self.w("            _found = False")
+        self.w("            for _c, _ch in zip(_coords, _children):")
+        self.w("                if _c == _tok[1]:")
+        self.w("                    _o((1, _ch))")
+        self.w("                    _found = True")
+        self.w("                    break")
+        self.w("            if not _found:")
+        self.w("                _o(_ET)")
+        if dram:
+            self.w("            _st.dram_reads += 8")
+        self.w("    elif _k == 3 or _k == 4 or _k == 5:")
+        self.w("        _o(_tok)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"locate got unexpected token kind {_k}\")"
+        )
+        self.w(f"_st.tokens_out += len(s{i}_ref)")
+
+    def _emit_joiner(self, i, node_id, node, prim, keep_all: bool) -> None:
+        kind = prim.kind
+        ca, ra = self._in(node, "crd_a"), self._in(node, "ref_a")
+        cb, rb = self._in(node, "crd_b"), self._in(node, "ref_b")
+        self.w(f"_require_aligned({ca}, {ra}, \"{kind}(a)\", {node_id!r})")
+        self.w(f"_require_aligned({cb}, {rb}, \"{kind}(b)\", {node_id!r})")
+        self.w(
+            f"_st.tokens_in += len({ca}) + len({cb}) + len({ra}) + len({rb})"
+        )
+        self.w(f"s{i}_crd = []")
+        self.w(f"s{i}_ref_a = []")
+        self.w(f"s{i}_ref_b = []")
+        self.w(f"_oc = s{i}_crd.append")
+        self.w(f"_oa = s{i}_ref_a.append")
+        self.w(f"_ob = s{i}_ref_b.append")
+        self.w("_ia = 0")
+        self.w("_ib = 0")
+        self.w(f"_na = len({ca})")
+        self.w(f"_nb = len({cb})")
+        self.w("while _ia < _na and _ib < _nb:")
+        self.w(f"    _ta = {ca}[_ia]")
+        self.w(f"    _tb = {cb}[_ib]")
+        self.w("    _ka = _ta[0]")
+        self.w("    _kb = _tb[0]")
+        self.w("    if _ka == 0 and _kb == 0:")
+        self.w("        _va = _ta[1]")
+        self.w("        _vb = _tb[1]")
+        self.w("        if _va == _vb:")
+        self.w("            _oc(_ta)")
+        self.w(f"            _oa({ra}[_ia])")
+        self.w(f"            _ob({rb}[_ib])")
+        self.w("            _ia += 1")
+        self.w("            _ib += 1")
+        self.w("        elif _va < _vb:")
+        if keep_all:
+            self.w("            _oc(_ta)")
+            self.w(f"            _oa({ra}[_ia])")
+            self.w("            _ob(_ET)")
+        self.w("            _ia += 1")
+        self.w("        else:")
+        if keep_all:
+            self.w("            _oc(_tb)")
+            self.w("            _oa(_ET)")
+            self.w(f"            _ob({rb}[_ib])")
+        self.w("            _ib += 1")
+        self.w("    elif _ka == 0:")
+        if keep_all:
+            self.w("        _oc(_ta)")
+            self.w(f"        _oa({ra}[_ia])")
+            self.w("        _ob(_ET)")
+        self.w("        _ia += 1")
+        self.w("    elif _kb == 0:")
+        if keep_all:
+            self.w("        _oc(_tb)")
+            self.w("        _oa(_ET)")
+            self.w(f"        _ob({rb}[_ib])")
+        self.w("        _ib += 1")
+        self.w("    else:")
+        self.w("        if _ta != _tb:")
+        self.w(
+            f"            raise _control_mismatch({kind!r}, {node_id!r}, "
+            "_ia, _ib, _ta, _tb)"
+        )
+        self.w("        _oc(_ta)")
+        self.w("        _oa(_ta)")
+        self.w("        _ob(_ta)")
+        self.w("        _ia += 1")
+        self.w("        _ib += 1")
+        self.w("        if _ka == 4:")
+        self.w("            break")
+        self.w(
+            f"_st.tokens_out += len(s{i}_crd) + len(s{i}_ref_a) "
+            f"+ len(s{i}_ref_b)"
+        )
+
+    def _emit_intersect(self, i, node_id, node, prim) -> None:
+        self._emit_joiner(i, node_id, node, prim, keep_all=False)
+
+    def _emit_union(self, i, node_id, node, prim) -> None:
+        self._emit_joiner(i, node_id, node, prim, keep_all=True)
+
+    #: Binary ops worth inlining as expressions (the rest call the table fn).
+    _INLINE_BINARY = {"add": "_va + _vb", "sub": "_va - _vb", "mul": "_va * _vb"}
+
+    def _emit_alu(self, i, node_id, node, prim) -> None:
+        a, b = self._in(node, "a"), self._in(node, "b")
+        op = prim.op
+        expr = self._INLINE_BINARY.get(op)
+        if expr is None:
+            self.w(f"_fn = _BINARY_OPS[{op!r}]")
+            expr = "_fn(_va, _vb)"
+        self.w(f"if len({a}) != len({b}):")
+        self.w(
+            "    raise StreamProtocolError("
+            f"f\"alu({op}): misaligned inputs ({{len({a})}} vs {{len({b})}})\")"
+        )
+        self.w(f"_st.tokens_in += len({a}) + len({b})")
+        self.w(f"s{i}_out = []")
+        self.w(f"_o = s{i}_out.append")
+        self.w("_ops = 0")
+        self.w(f"for _ta, _tb in zip({a}, {b}):")
+        self.w("    _ka = _ta[0]")
+        self.w("    if _ka == 3 or _ka == 4:")
+        self.w("        if _ta != _tb:")
+        self.w(
+            "            raise StreamProtocolError("
+            f"f\"alu({op}): control mismatch {{_ta}} vs {{_tb}}\")"
+        )
+        self.w("        _o(_ta)")
+        self.w("    elif _ka == 5 and _tb[0] == 5:")
+        self.w("        _o(_ta)")
+        self.w("    else:")
+        self.w("        _va = 0.0 if _ka == 5 else _ta[1]")
+        self.w("        _vb = 0.0 if _tb[0] == 5 else _tb[1]")
+        self.w(f"        _r = {expr}")
+        if op in ("bmm", "bmt"):
+            self.w("        if isinstance(_r, np.ndarray) and _r.ndim == 2:")
+            self.w(
+                "            _ops += 2 * _r.shape[0] * _r.shape[1] * ("
+                "_va.shape[1] if isinstance(_va, np.ndarray) "
+                "and _va.ndim == 2 else 1)"
+            )
+            self.w("        else:")
+            self.w(
+                "            _ops += int(_r.size) "
+                "if isinstance(_r, np.ndarray) else 1"
+            )
+        else:
+            self.w(
+                "        _ops += int(_r.size) "
+                "if isinstance(_r, np.ndarray) else 1"
+            )
+        self.w("        _o((2, _r))")
+        self.w("_st.ops += _ops")
+        self.w(f"_st.tokens_out += len(s{i}_out)")
+
+    def _emit_ualu(self, i, node_id, node, prim) -> None:
+        a = self._in(node, "a")
+        scaled = prim.scale != 1.0 or prim.offset != 0.0
+        self.w(f"_fn = _UNARY_OPS[{prim.op!r}]")
+        self.w(f"_st.tokens_in += len({a})")
+        self.w(f"s{i}_out = []")
+        self.w(f"_o = s{i}_out.append")
+        self.w("_ops = 0")
+        self.w(f"for _tok in {a}:")
+        self.w("    if _tok[0] == 2:")
+        if scaled:
+            self.w(f"        _x = {prim.scale!r} * _tok[1] + {prim.offset!r}")
+        else:
+            self.w("        _x = _tok[1]")
+        self.w("        _r = _fn(_x)")
+        self.w(
+            "        _ops += int(_r.size) if isinstance(_r, np.ndarray) else 1"
+        )
+        self.w("        _o((2, _r))")
+        self.w("    else:")
+        self.w("        _o(_tok)")
+        self.w("_st.ops += _ops")
+        self.w(f"_st.tokens_out += len(s{i}_out)")
+
+    def _emit_array(self, i, node_id, node, prim) -> None:
+        ref_in = self._in(node, "ref")
+        dram = prim.dram
+        self.w(f"_t = _get_tensor(binding, {prim.tensor_name!r})")
+        self.w("_vals = _t.values")
+        self.w("_blocked = _vals.ndim > 1")
+        self.w("_zero = np.zeros(_vals.shape[1:]) if _blocked else 0.0")
+        if dram:
+            self.w(
+                "_eb = int(np.prod(_vals.shape[1:])) * 8 if _blocked else 8"
+            )
+            self.w("_nref = 0")
+        self.w(f"s{i}_val = []")
+        self.w(f"_o = s{i}_val.append")
+        self.w(f"_st.tokens_in += len({ref_in})")
+        self.w(f"for _tok in {ref_in}:")
+        self.w("    _k = _tok[0]")
+        self.w("    if _k == 1:")
+        self.w("        _o((2, _vals[_tok[1]]))")
+        if dram:
+            self.w("        _nref += 1")
+        self.w("    elif _k == 5:")
+        self.w("        _o((2, _zero))")
+        self.w("    elif _k == 3 or _k == 4:")
+        self.w("        _o(_tok)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"array got unexpected token kind {_k}\")"
+        )
+        if dram:
+            self.w("_fp = int(_vals.size) * 8")
+            self.w("_ab = _eb * _nref")
+            self.w("if _fp <= scratchpad_bytes:")
+            self.w("    _st.dram_reads += min(_ab, _fp)")
+            self.w("else:")
+            self.w("    _st.dram_reads += _ab")
+        self.w(f"_st.tokens_out += len(s{i}_val)")
+
+    def _emit_reduce(self, i, node_id, node, prim) -> None:
+        val_in = self._in(node, "val")
+        self.w(f"s{i}_val = []")
+        self.w(f"_o = s{i}_val.append")
+        self.w("_acc = None")
+        self.w("_ops = 0")
+        self.w(f"_st.tokens_in += len({val_in})")
+        self.w(f"for _tok in {val_in}:")
+        self.w("    _k = _tok[0]")
+        self.w("    if _k == 2:")
+        self.w("        if _acc is None:")
+        self.w("            _acc = _tok[1]")
+        self.w("        else:")
+        self.w("            _acc = _acc + _tok[1]")
+        self.w(
+            "            _ops += 1 if not isinstance(_acc, np.ndarray) "
+            "else int(_acc.size)"
+        )
+        self.w("    elif _k == 5:")
+        self.w("        if _acc is None:")
+        self.w("            _acc = 0.0")
+        self.w("    elif _k == 3:")
+        self.w("        _o((2, _acc if _acc is not None else 0.0))")
+        self.w("        _acc = None")
+        self.w("        if _tok[1] > 0:")
+        self.w("            _o((3, _tok[1] - 1))")
+        self.w("    elif _k == 4:")
+        self.w("        if _acc is not None:")
+        self.w("            _o((2, _acc))")
+        self.w("            _acc = None")
+        self.w("        _o(_DT)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"reduce got unexpected token kind {_k}\")"
+        )
+        self.w("_st.ops += _ops")
+        self.w(f"_st.tokens_out += len(s{i}_val)")
+
+    def _emit_vreduce(self, i, node_id, node, prim) -> None:
+        n = prim.order
+        val_in = self._in(node, "val")
+        crd_ins = [self._in(node, f"crd{d}") for d in range(n)]
+        self.w(f"_crds = [{', '.join(crd_ins)}]")
+        self.w(f"for _d in range({n}):")
+        self.w(f"    if len(_crds[_d]) != len({val_in}):")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"vreduce: crd{_d}/val misaligned \""
+            f"f\"({{len(_crds[_d])}} vs {{len({val_in})}})\")"
+        )
+        self.w(f"_st.tokens_in += len({val_in}) * {n + 1}")
+        self.w(f"_ocrds{i} = [[] for _d in range({n})]")
+        self.w(f"_oval{i} = []")
+        self.w(f"_acc{i} = {{}}")
+        self.w(f"def _emit_group{i}():")
+        self.w(f"    _keys = sorted(_acc{i})")
+        self.w("    _prev = None")
+        self.w("    for _key in _keys:")
+        self.w("        if _prev is not None:")
+        self.w("            _common = 0")
+        self.w(
+            f"            while _common < {n} "
+            "and _prev[_common] == _key[_common]:"
+        )
+        self.w("                _common += 1")
+        self.w(f"            for _d in range({n}):")
+        self.w("                if _common <= _d - 1:")
+        self.w(
+            f"                    _ocrds{i}[_d].append((3, _d - 1 - _common))"
+        )
+        self.w(f"            if _common <= {n - 2}:")
+        self.w(f"                _oval{i}.append((3, {n - 2} - _common))")
+        self.w(f"        for _d in range({n}):")
+        self.w(
+            "        "
+            "    if _prev is None or _key[: _d + 1] != _prev[: _d + 1]:"
+        )
+        self.w(f"                _ocrds{i}[_d].append((0, _key[_d]))")
+        self.w(f"        _oval{i}.append((2, _acc{i}[_key]))")
+        self.w("        _prev = _key")
+        self.w(f"    _acc{i}.clear()")
+        self.w(f"def _close_group{i}(_lvl):")
+        self.w(f"    _extra = _lvl - {n}")
+        self.w(f"    for _d in range({n}):")
+        self.w(f"        _ocrds{i}[_d].append((3, _d + _extra))")
+        self.w(f"    _oval{i}.append((3, _lvl - 1))")
+        self.w("_ops = 0")
+        self.w("_pos = 0")
+        self.w(f"for _tv in {val_in}:")
+        self.w("    _kv = _tv[0]")
+        self.w("    if _kv == 2 or _kv == 5:")
+        self.w("        _key = []")
+        self.w(f"        for _d in range({n}):")
+        self.w("            _tc = _crds[_d][_pos]")
+        self.w("            if _tc[0] != 0:")
+        self.w(
+            "                raise StreamProtocolError("
+            "f\"vreduce: crd{_d} token {_tc} does not align with value\")"
+        )
+        self.w("            _key.append(_tc[1])")
+        self.w("        _key_t = tuple(_key)")
+        self.w("        _value = 0.0 if _kv == 5 else _tv[1]")
+        self.w(f"        if _key_t in _acc{i}:")
+        self.w(f"            _acc{i}[_key_t] = _acc{i}[_key_t] + _value")
+        self.w(
+            "            _ops += int(_value.size) "
+            "if isinstance(_value, np.ndarray) else 1"
+        )
+        self.w("        else:")
+        self.w(f"            _acc{i}[_key_t] = _value")
+        self.w("    elif _kv == 3:")
+        self.w("        _lvl = _tv[1]")
+        self.w(f"        for _d in range({n}):")
+        self.w("            _tc = _crds[_d][_pos]")
+        self.w("            if _tc[0] != 3 or _tc[1] != _lvl:")
+        self.w(
+            "                raise StreamProtocolError("
+            "\"vreduce: stop tokens disagree\")"
+        )
+        self.w(f"        if _lvl >= {n}:")
+        self.w(f"            _emit_group{i}()")
+        self.w(f"            _close_group{i}(_lvl)")
+        self.w("    elif _kv == 4:")
+        self.w(f"        if _acc{i}:")
+        self.w(f"            _emit_group{i}()")
+        self.w(f"            _close_group{i}({n})")
+        self.w(f"        for _d in range({n}):")
+        self.w(f"            _ocrds{i}[_d].append(_DT)")
+        self.w(f"        _oval{i}.append(_DT)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"vreduce got unexpected token kind {_kv}\")"
+        )
+        self.w("    _pos += 1")
+        self.w("_st.ops += _ops")
+        self.w(
+            f"_st.tokens_out += sum(len(_s) for _s in _ocrds{i}) "
+            f"+ len(_oval{i})"
+        )
+        for d in range(n):
+            self.w(f"s{i}_crd{d} = _ocrds{i}[{d}]")
+        self.w(f"s{i}_val = _oval{i}")
+
+    def _emit_crddrop(self, i, node_id, node, prim) -> None:
+        crd_in, val_in = self._in(node, "crd"), self._in(node, "val")
+        self.w(f"if len({crd_in}) != len({val_in}):")
+        self.w(
+            "    raise StreamProtocolError(\"crddrop: crd/val misaligned\")"
+        )
+        self.w(f"_st.tokens_in += len({crd_in}) + len({val_in})")
+        self.w(f"s{i}_crd = []")
+        self.w(f"s{i}_val = []")
+        self.w(f"_oc = s{i}_crd.append")
+        self.w(f"_ov = s{i}_val.append")
+        self.w(f"for _tc, _tv in zip({crd_in}, {val_in}):")
+        self.w("    if _tc[0] == 0:")
+        self.w("        _v = _tv[1]")
+        self.w("        if isinstance(_v, np.ndarray):")
+        self.w("            _is_zero = float(np.abs(_v).max()) == 0.0")
+        self.w("        else:")
+        self.w("            _is_zero = _v == 0.0")
+        self.w("        if not _is_zero:")
+        self.w("            _oc(_tc)")
+        self.w("            _ov(_tv)")
+        self.w("    else:")
+        self.w("        _oc(_tc)")
+        self.w("        _ov(_tv)")
+        self.w(f"_st.tokens_out += len(s{i}_crd) + len(s{i}_val)")
+
+    def _emit_aligncheck(self, i, node_id, node, prim) -> None:
+        a, b = self._in(node, "a"), self._in(node, "b")
+        self.w(f"_st.tokens_in += len({a}) + len({b})")
+        self.w(f"if {a} != {b}:")
+        self.w(
+            "    raise StreamProtocolError("
+            "\"aligned-adopt streams differ; the fusion schedule requires a \""
+            "\"materialization boundary between these statements\")"
+        )
+        self.w(f"_st.tokens_out += len({a})")
+        self.w(f"s{i}_out = list({a})")
+
+    def _emit_repeat(self, i, node_id, node, prim) -> None:
+        base, rep = self._in(node, "base"), self._in(node, "rep")
+        self.w(f"_st.tokens_in += len({base}) + len({rep})")
+        self.w(f"s{i}_out = []")
+        self.w(f"_o = s{i}_out.append")
+        self.w("_bi = 0")
+        self.w(f"_nb = len({base})")
+        self.w(f"for _tok in {rep}:")
+        self.w("    _k = _tok[0]")
+        self.w("    if _k == 0:")
+        self.w(f"        _bk = {base}[_bi][0] if _bi < _nb else 4")
+        self.w("        if _bk == 3 or _bk == 4:")
+        self.w(
+            "            raise StreamProtocolError(\"repeat: rep stream has "
+            "coordinates but base has none current\")"
+        )
+        self.w(f"        _o({base}[_bi])")
+        self.w("    elif _k == 3:")
+        self.w("        _o(_tok)")
+        self.w(f"        _bk = {base}[_bi][0] if _bi < _nb else 4")
+        self.w("        if _bk != 3 and _bk != 4:")
+        self.w("            _bi += 1")
+        self.w("        if _tok[1] >= 1:")
+        self.w(f"            _bk = {base}[_bi][0] if _bi < _nb else 4")
+        self.w("            if _bk != 3:")
+        self.w(
+            "                raise StreamProtocolError("
+            "f\"repeat: rep stop {_tok[1]} expects a base stop \""
+            f"f\"{{_tok[1] - 1}}, found "
+            f"{{{base}[_bi] if _bi < _nb else 'EOS'}}\")"
+        )
+        self.w(f"            if {base}[_bi][1] != _tok[1] - 1:")
+        self.w(
+            "                raise StreamProtocolError("
+            "f\"repeat: rep stop {_tok[1]} mismatches base stop \""
+            f"f\"{{{base}[_bi][1]}}\")"
+        )
+        self.w("            _bi += 1")
+        self.w("    elif _k == 4:")
+        self.w("        _o(_DT)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"repeat: unexpected token kind {_k} on rep stream\")"
+        )
+        self.w(f"_st.tokens_out += len(s{i}_out)")
+
+    def _emit_repsig(self, i, node_id, node, prim) -> None:
+        crd_in = self._in(node, "crd")
+        self.w(f"s{i}_out = list({crd_in})")
+        self.w(f"_st.tokens_in += len(s{i}_out)")
+        self.w(f"_st.tokens_out += len(s{i}_out)")
+
+    def _emit_srepeat(self, i, node_id, node, prim) -> None:
+        base, rep = self._in(node, "base"), self._in(node, "rep")
+        self.w(f"_st.tokens_in += len({base}) + len({rep})")
+        self.w(
+            f"_pays = [_t for _t in {base} if _t[0] != 3 and _t[0] != 4]"
+        )
+        self.w("if len(_pays) != 1:")
+        self.w(
+            "    raise StreamProtocolError("
+            "f\"scalar repeat expects exactly one base payload, "
+            "got {len(_pays)}\")"
+        )
+        self.w("_p = _pays[0]")
+        self.w(f"s{i}_out = []")
+        self.w(f"_o = s{i}_out.append")
+        self.w(f"for _tok in {rep}:")
+        self.w("    _k = _tok[0]")
+        self.w("    if _k == 0:")
+        self.w("        _o(_p)")
+        self.w("    elif _k == 3 or _k == 4:")
+        self.w("        _o(_tok)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            "f\"scalar repeat: unexpected token kind {_k} on rep stream\")"
+        )
+        self.w(f"_st.tokens_out += len(s{i}_out)")
+
+    def _emit_fiberop(self, i, node_id, node, prim) -> None:
+        val_in = self._in(node, "val")
+        kind = prim.kind
+        fpe = prim.flops_per_elem
+        self.w(f"_fn = _FIBER_FNS[{kind!r}]")
+        self.w(f"s{i}_out = []")
+        self.w(f"_o = s{i}_out.append")
+        self.w(f"_buf{i} = []")
+        self.w(f"_st.tokens_in += len({val_in})")
+        self.w("_ops = 0")
+        self.w(f"for _tok in {val_in}:")
+        self.w("    _k = _tok[0]")
+        self.w("    if _k == 2:")
+        self.w(f"        _buf{i}.append(_tok[1])")
+        self.w("    elif _k == 5:")
+        self.w(f"        _buf{i}.append(0.0)")
+        self.w("    elif _k == 3 or _k == 4:")
+        self.w(f"        if _buf{i}:")
+        self.w(f"            for _r in _apply_over_fiber(_buf{i}, _fn):")
+        self.w("                _o((2, _r))")
+        self.w(
+            f"                _ops += {fpe} * (int(_r.size) "
+            "if isinstance(_r, np.ndarray) else 1)"
+        )
+        self.w(f"            _buf{i}.clear()")
+        self.w("        _o(_tok)")
+        self.w("    else:")
+        self.w(
+            "        raise StreamProtocolError("
+            f"f\"{kind} got token kind {{_k}}\")"
+        )
+        self.w("_st.ops += _ops")
+        self.w(f"_st.tokens_out += len(s{i}_out)")
+
+    _emit_softmax = _emit_fiberop
+    _emit_layernorm = _emit_fiberop
+    _emit_fibermax = _emit_fiberop
+
+    def _emit_write(self, i, node_id, node, prim) -> None:
+        n = len(prim.shape)
+        name = prim.tensor_name
+        crd_ins = [self._in(node, f"crd{d}") for d in range(n)]
+        val_in = self._in(node, "val")
+        fmt = self._bind(f"_fmt{i}", prim.fmt)
+        self.w(
+            "_st.tokens_in += "
+            + " + ".join(f"len({s})" for s in crd_ins + [val_in])
+        )
+        self.w(f"_nests{i} = [")
+        for d, s in enumerate(crd_ins):
+            self.w(f"    stream_to_nest({s}, {d + 1}, check=debug_streams),")
+        self.w("]")
+        self.w(f"_vals{i} = stream_to_nest({val_in}, {n}, check=debug_streams)")
+        self.w(f"_coords{i} = {{}}")
+        self.w(f"def _rec{i}(_depth, _frames, _vals, _prefix):")
+        self.w("    _ch = _frames[0]")
+        self.w("    if len(_ch) != len(_vals):")
+        self.w(
+            "        raise StreamProtocolError("
+            f"f\"writer {name}: level {{_depth}} crd/val fan-out \""
+            "f\"mismatch ({len(_ch)} vs {len(_vals)})\")"
+        )
+        self.w("    for _j, _c in enumerate(_ch):")
+        self.w("        _path = _prefix + (_c,)")
+        self.w(f"        if _depth == {n - 1}:")
+        self.w(f"            _coords{i}[_path] = _vals[_j]")
+        self.w("        else:")
+        self.w(
+            f"            _rec{i}(_depth + 1, "
+            "[_f[_j] for _f in _frames[1:]], _vals[_j], _path)"
+        )
+        self.w(f"_rec{i}(0, _nests{i}, _vals{i}, ())")
+        if prim.drop_zeros:
+            self.w(f"_coords{i} = {{")
+            self.w(f"    _p: _v for _p, _v in _coords{i}.items()")
+            self.w(
+                "    if (np.abs(_v).max() if isinstance(_v, np.ndarray) "
+                "else abs(_v)) != 0.0"
+            )
+            self.w("}")
+        self.w(
+            f"_tw = SparseTensor.from_coords({prim.shape!r}, {fmt}, "
+            f"_coords{i}, name={name!r})"
+        )
+        if prim.dram:
+            self.w("_st.dram_writes += _tw.bytes_total()")
+        self.w(f"results[{name!r}] = _tw")
+        self.w(f"s{i}_tensor = []")
+
+
+# ----------------------------------------------------------------------
+# Compilation and execution
+# ----------------------------------------------------------------------
+
+
+def _compile_artifact(graph: SAMGraph, order: List[str]) -> RegionArtifact:
+    started = time.perf_counter()
+    emitter = _Emitter(graph, order)
+    try:
+        source = emitter.emit()
+    except _Unsupported as exc:
+        _COUNTERS["fallbacks"] += 1
+        return RegionArtifact(
+            region=graph.name,
+            node_count=len(order),
+            emit_seconds=time.perf_counter() - started,
+            fallback=str(exc),
+        )
+    emit_seconds = time.perf_counter() - started
+    sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    filename = f"<fuseflow-codegen {graph.name} {sha[:12]}>"
+    compile_started = time.perf_counter()
+    code = _CODE_CACHE.get(sha)
+    cached = code is not None
+    if cached:
+        _COUNTERS["code_hits"] += 1
+    else:
+        _COUNTERS["code_misses"] += 1
+        code = compile(source, filename, "exec")
+        _CODE_CACHE[sha] = code
+        # Register the source so tracebacks out of the kernel show real
+        # lines instead of an opaque <string> frame.
+        linecache.cache[filename] = (
+            len(source),
+            None,
+            source.splitlines(True),
+            filename,
+        )
+    namespace = dict(_SHARED_GLOBALS)
+    namespace.update(emitter.env)
+    exec(code, namespace)
+    fn = namespace["_region_kernel"]
+    fn, uses_numba = _maybe_njit(fn)
+    return RegionArtifact(
+        region=graph.name,
+        source=source,
+        loc=source.count("\n"),
+        node_count=len(order),
+        emit_seconds=emit_seconds,
+        compile_seconds=time.perf_counter() - compile_started,
+        code_cached=cached,
+        uses_numba=uses_numba,
+        fn=fn,
+        sha=sha,
+    )
+
+
+def _maybe_njit(fn: Callable) -> Tuple[Callable, bool]:
+    """Optionally wrap ``fn`` with numba, falling back on typing failure."""
+    if not _numba_requested() or not numba_available():
+        return fn, False
+    import numba
+
+    try:
+        jitted = numba.njit(fn)
+    except Exception:
+        return fn, False
+
+    def wrapper(*args, _jitted=jitted, _plain=fn):
+        try:
+            return _jitted(*args)
+        except numba.errors.NumbaError:
+            # nopython typing rejected the kernel (tuple/dict/object
+            # traffic); the plain compiled function is the result.
+            return _plain(*args)
+
+    return wrapper, True
+
+
+def artifact_for(graph: SAMGraph) -> RegionArtifact:
+    """The compiled :class:`RegionArtifact` for ``graph``, cached.
+
+    Parameters
+    ----------
+    graph:
+        A lowered region graph.  The artifact is cached weakly per graph
+        and invalidated when the graph's topological order is rebuilt
+        (i.e. on structural mutation).
+
+    Returns
+    -------
+    RegionArtifact
+        With ``fn`` set, or ``fallback`` naming the unsupported primitive.
+    """
+    graph.ensure_validated()
+    order = graph.topological_order()
+    cached = _GRAPH_ARTIFACTS.get(graph)
+    if cached is not None and cached[0] is order:
+        _COUNTERS["artifact_hits"] += 1
+        return cached[1]
+    _COUNTERS["artifact_misses"] += 1
+    artifact = _compile_artifact(graph, order)
+    _GRAPH_ARTIFACTS[graph] = (order, artifact)
+    return artifact
+
+
+def try_run_codegen(
+    graph: SAMGraph,
+    binding: Dict[str, Any],
+    scratchpad_bytes: int,
+    debug_streams: bool,
+):
+    """Execute ``graph`` through its generated kernel.
+
+    Parameters
+    ----------
+    graph, binding, scratchpad_bytes, debug_streams:
+        As for :func:`repro.comal.functional.run_functional` (memoization
+        is handled by the caller).
+
+    Returns
+    -------
+    FunctionalResult or None
+        ``None`` signals the caller to fall back to the columnar
+        interpreter (unsupported primitive in the region).
+
+    Raises
+    ------
+    StreamProtocolError
+        Protocol violations, re-raised with node id + region context
+        appended (type and original message preserved).
+    KeyError
+        Unbound tensors, likewise annotated.
+    CodegenError
+        Any other failure inside the generated kernel.
+    """
+    from ..comal.functional import FunctionalResult
+
+    artifact = artifact_for(graph)
+    if artifact.fn is None:
+        return None
+    order = graph.topological_order()
+    stats = {node_id: NodeStats() for node_id in order}
+    results: Dict[str, Any] = {}
+    cursor = ["?"]
+    try:
+        streams = artifact.fn(
+            binding, stats, results, scratchpad_bytes, debug_streams, cursor
+        )
+    except StreamProtocolError as exc:
+        raise StreamProtocolError(
+            f"{exc} [codegen kernel, region {graph.name!r}, node {cursor[0]}]"
+        ) from exc
+    except KeyError as exc:
+        detail = exc.args[0] if exc.args else exc
+        raise KeyError(
+            f"{detail} [codegen kernel, region {graph.name!r}, "
+            f"node {cursor[0]}]"
+        ) from exc
+    except Exception as exc:
+        raise CodegenError(
+            f"generated kernel for region {graph.name!r} failed at node "
+            f"{cursor[0]}: {type(exc).__name__}: {exc}"
+        ) from exc
+    result = FunctionalResult()
+    result.order = order
+    result.streams = streams
+    result.stats = stats
+    result.results = results
+    return result
+
+
+class CodegenBackend(Backend):
+    """Backend that executes regions through generated, compiled kernels."""
+
+    name = "codegen"
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        numba = "numba available" if numba_available() else "no numba"
+        return (
+            "codegen: per-region specialized Python kernels "
+            f"(compile()/exec, {numba}; unsupported regions fall back to "
+            "the columnar interpreter)"
+        )

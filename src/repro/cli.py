@@ -36,6 +36,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from .backend import BACKEND_NAMES
 from .comal.hierarchy import HIERARCHIES, resolve_hierarchy
 from .comal.machines import MACHINES
 from .core.heuristic.model import stats_from_binding
@@ -78,6 +79,7 @@ def _session(args) -> Session:
     return Session(
         machine=MACHINES[args.machine],
         hierarchy=_hierarchy_arg(args),
+        backend=getattr(args, "backend", None),
     )
 
 
@@ -157,6 +159,17 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help=(
+            "execution backend: 'columnar' (vectorized interpreter, the "
+            "default), 'interp' (legacy tuple-list interpreter), or "
+            "'codegen' (per-region compiled kernels; bit-exact, faster "
+            "on deep regions).  Default follows FUSEFLOW_BACKEND."
+        ),
+    )
+    parser.add_argument(
         "--split",
         action="append",
         metavar="INDEX=TILES",
@@ -206,6 +219,7 @@ def cmd_simulate(args) -> int:
         debug_streams=True if args.debug_streams else None,
         sim_cache=False if args.no_sim_cache else None,
         hierarchy=_hierarchy_arg(args),
+        backend=args.backend,
     )
     exe = session.compile(bundle.program, schedule)
     result = exe(bundle.binding)
@@ -213,6 +227,7 @@ def cmd_simulate(args) -> int:
     print(f"model      : {bundle.name}")
     print(f"schedule   : {schedule.name} ({len(schedule.regions)} regions)")
     print(f"machine    : {args.machine}")
+    print(f"backend    : {exe.diagnostics.backend}")
     print(f"hierarchy  : {session.machine.hierarchy.describe()}")
     print(f"cycles     : {m.cycles:.0f}")
     print(f"flops      : {m.flops}")
@@ -258,6 +273,28 @@ def cmd_simulate(args) -> int:
             f"{'total':24s} {levels['dram']:10d} {levels['sram']:10d} "
             f"{levels['spill']:9d} {levels['fill']:9d}"
         )
+        if exe.diagnostics.backend == "codegen":
+            from .backend import codegen_cache_info
+
+            print()
+            print("codegen backend per region:")
+            print(f"{'region':24s} {'LoC':>6s} {'compile':>10s}  status")
+            for diag in exe.diagnostics.regions:
+                if diag.codegen_fallback:
+                    status = f"fallback: {diag.codegen_fallback}"
+                else:
+                    status = "cached code" if diag.codegen_cached else "compiled"
+                print(
+                    f"{diag.name:24s} {diag.codegen_loc:6d} "
+                    f"{diag.codegen_seconds * 1e3:8.2f}ms  {status}"
+                )
+            info = codegen_cache_info()
+            print(
+                f"artifact cache: {info['artifact_hits']} hit(s), "
+                f"{info['artifact_misses']} miss(es); source cache: "
+                f"{info['code_hits']} hit(s), {info['code_misses']} "
+                f"miss(es); {info['fallbacks']} region fallback(s)"
+            )
     return 0
 
 
@@ -304,6 +341,14 @@ def _sweep_spec_from_args(args) -> SweepSpec:
     splits_axis = None
     if getattr(args, "splits", None):
         splits_axis = [_parse_split_config(spec) for spec in args.splits]
+    backends_axis = None
+    if getattr(args, "backends", None):
+        # "default" names the session-default baseline (the empty string
+        # internally, which CSV parsing would otherwise drop).
+        backends_axis = [
+            "" if name == "default" else name
+            for name in _split_csv(args.backends)
+        ]
     return SweepSpec(
         name=args.name,
         models=_split_csv(args.models),
@@ -315,6 +360,7 @@ def _sweep_spec_from_args(args) -> SweepSpec:
         model_args=model_args,
         par=_parse_par(args.par),
         splits=splits_axis,
+        backends=backends_axis,
         baseline_schedule=args.baseline,
     )
 
@@ -544,6 +590,11 @@ def main(argv: List[str] | None = None) -> int:
                                "config ('x1=8' or 'x1=8,x7=8'; 'none' for "
                                "the unsplit baseline), gridded against "
                                "every other axis; repeatable")
+    p_sw_run.add_argument("--backends", default=None,
+                          help="comma-separated execution backends "
+                               "(interp, columnar, codegen; 'default' for "
+                               "the session default), gridded against "
+                               "every other axis")
     p_sw_run.add_argument("--pipeline", action="append",
                           help="comma-separated pass names; repeatable for variants")
     p_sw_run.add_argument("--baseline", default="unfused",

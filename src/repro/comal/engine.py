@@ -220,6 +220,7 @@ def run_timed(
     functional: FunctionalResult | None = None,
     memory: MemoryModel | None = None,
     *,
+    backend: Optional[str] = None,
     columnar: Optional[bool] = None,
     debug_streams: Optional[bool] = None,
     cache: Optional[bool] = None,
@@ -228,8 +229,9 @@ def run_timed(
 
     A pre-computed functional result may be supplied to avoid re-executing
     the graph; a shared memory model may be supplied to model contention
-    across graphs that run concurrently.  ``columnar``/``debug_streams``
-    select the stream representation and protocol checking of the
+    across graphs that run concurrently.  ``backend``/``columnar``/
+    ``debug_streams`` select the execution backend, stream representation,
+    and protocol checking of the
     functional execution (see :func:`~repro.comal.functional.run_functional`).
 
     Timing is a pure function of the functional result and the machine, so
@@ -246,6 +248,7 @@ def run_timed(
             graph,
             binding,
             scratchpad_bytes=machine.scratchpad_bytes,
+            backend=backend,
             columnar=columnar,
             debug_streams=debug_streams,
             cache=cache,

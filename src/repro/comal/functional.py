@@ -29,6 +29,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..backend.base import resolve_backend_name
 from ..sam.graph import SAMGraph
 from ..sam.primitives.base import ExecutionContext, NodeStats
 from ..sam.token import StreamProtocolError, check_stream
@@ -97,14 +98,19 @@ def run_functional(
     binding: Dict[str, Any],
     scratchpad_bytes: int = 1 << 16,
     *,
+    backend: Optional[str] = None,
     columnar: Optional[bool] = None,
     debug_streams: Optional[bool] = None,
     cache: Optional[bool] = None,
 ) -> FunctionalResult:
     """Execute ``graph`` functionally with tensors bound by name.
 
-    ``columnar`` selects the stream representation (``None`` reads the
-    ``FUSEFLOW_LEGACY_STREAMS`` environment default); ``debug_streams``
+    ``backend`` names the execution backend (``"interp"``, ``"columnar"``,
+    or ``"codegen"``); ``columnar`` is the pre-backend spelling that
+    selects between the two interpreter representations.  When both are
+    ``None`` the ``FUSEFLOW_BACKEND`` / ``FUSEFLOW_LEGACY_STREAMS``
+    environment defaults apply (see
+    :func:`repro.backend.base.resolve_backend_name`).  ``debug_streams``
     enables per-stream protocol validation (``None`` reads
     ``FUSEFLOW_DEBUG_STREAMS``).  Validation of the graph structure itself
     happens once per graph object — the compile pipeline validates at
@@ -116,8 +122,7 @@ def run_functional(
     ``Executable`` skip re-simulation entirely (``FUSEFLOW_NO_SIM_CACHE=1``
     or ``cache=False`` disables).  Bound tensors are treated as immutable.
     """
-    if columnar is None:
-        columnar = default_columnar()
+    mode = resolve_backend_name(backend, columnar)
     if debug_streams is None:
         debug_streams = default_debug_streams()
     if cache is None:
@@ -126,13 +131,25 @@ def run_functional(
     if cache:
         ids = _binding_key(graph, binding)
         if ids is not None:
-            memo_key = (scratchpad_bytes, columnar, debug_streams, ids)
+            memo_key = (scratchpad_bytes, mode, debug_streams, ids)
             memo = graph.func_cache
             if memo is not None:
                 entry = memo.get(memo_key)
                 if entry is not None:
                     return entry[0]
     graph.ensure_validated()
+    if mode == "codegen":
+        from ..backend.codegen import try_run_codegen
+
+        result = try_run_codegen(
+            graph, binding, scratchpad_bytes, debug_streams
+        )
+        if result is not None:
+            return _memoize(graph, binding, memo_key, result)
+        # Region uses a primitive the emitter does not support: fall back
+        # to the columnar interpreter for this graph (recorded in the
+        # region's RegionArtifact.fallback).
+    columnar = mode != "interp"
     ctx = ExecutionContext(
         binding, scratchpad_bytes=scratchpad_bytes, debug_streams=debug_streams
     )
@@ -166,6 +183,16 @@ def run_functional(
             result.streams[(node_id, port_name)] = stream
     result.stats = ctx.stats
     result.results = ctx.results
+    return _memoize(graph, binding, memo_key, result)
+
+
+def _memoize(
+    graph: SAMGraph,
+    binding: Dict[str, Any],
+    memo_key: Optional[Tuple],
+    result: FunctionalResult,
+) -> FunctionalResult:
+    """Store ``result`` in the graph's functional memo (if enabled)."""
     if memo_key is not None:
         memo = graph.func_cache
         if memo is None:

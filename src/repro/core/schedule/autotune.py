@@ -296,7 +296,14 @@ def autotune(
         # (the caller may have paired an explicit machine with a session
         # built for a different one); shares the cached compile artifacts.
         winner = Executable(
-            winner.compiled, machine, winner.diagnostics, winner.fingerprint
+            winner.compiled,
+            machine,
+            winner.diagnostics,
+            winner.fingerprint,
+            columnar=winner.columnar,
+            debug_streams=winner.debug_streams,
+            sim_cache=winner.sim_cache,
+            backend=winner.backend,
         )
     return TunedSchedule(
         best=best_schedule,

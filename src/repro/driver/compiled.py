@@ -105,6 +105,7 @@ def execute_compiled(
     binding: Dict[str, SparseTensor],
     machine: Machine = RDA_MACHINE,
     *,
+    backend: Optional[str] = None,
     columnar: Optional[bool] = None,
     debug_streams: Optional[bool] = None,
     cache: Optional[bool] = None,
@@ -120,10 +121,11 @@ def execute_compiled(
         are bound as they materialize.
     machine:
         Timing model (and memory hierarchy) the regions simulate on.
-    columnar, debug_streams, cache:
-        Stream representation, per-stream protocol checking, and result
-        memoization of the underlying simulations (``None`` = environment
-        defaults; see :mod:`repro.comal.functional`).
+    backend, columnar, debug_streams, cache:
+        Execution backend, stream representation, per-stream protocol
+        checking, and result memoization of the underlying simulations
+        (``None`` = environment defaults; see
+        :mod:`repro.comal.functional` and :mod:`repro.backend`).
 
     Returns
     -------
@@ -165,6 +167,7 @@ def execute_compiled(
             region.graph,
             bind,
             machine,
+            backend=backend,
             columnar=columnar,
             debug_streams=debug_streams,
             cache=cache,

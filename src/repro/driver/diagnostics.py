@@ -44,6 +44,15 @@ class RegionDiagnostics:
     sram_reserved: int = 0
     # Passes that ran but decided they did not apply, with a reason.
     skipped_passes: Dict[str, str] = field(default_factory=dict)
+    # Codegen backend (filled only when the session compiles under
+    # backend="codegen"): emitted lines of code, emission + compile wall
+    # time, whether the compiled code object came from the cross-graph
+    # source cache, and the fallback reason when the region runs on the
+    # columnar interpreter instead.
+    codegen_loc: int = 0
+    codegen_seconds: float = 0.0
+    codegen_cached: bool = False
+    codegen_fallback: str = ""
 
     @property
     def order_fallbacks(self) -> int:
@@ -61,6 +70,9 @@ class CompileDiagnostics:
     pass_seconds: Dict[str, float] = field(default_factory=dict)
     regions: List[RegionDiagnostics] = field(default_factory=list)
     compile_seconds: float = 0.0
+    # The resolved execution backend name ("interp"/"columnar"/"codegen")
+    # of the session that compiled this program.
+    backend: str = ""
 
     def order_fallbacks(self) -> int:
         """Total rejected dataflow orders across all regions."""
@@ -79,6 +91,7 @@ class CompileDiagnostics:
         lines = [
             f"compile diagnostics for {self.program} under {self.schedule}: "
             f"{len(self.regions)} region(s), {self.compile_seconds * 1e3:.1f} ms"
+            + (f", backend {self.backend}" if self.backend else "")
         ]
         for name in self.pass_names:
             seconds = self.pass_seconds.get(name, 0.0)
@@ -109,5 +122,13 @@ class CompileDiagnostics:
                 bits.append(f"{region.spilled_outputs} output(s) spilled")
             if region.skipped_passes:
                 bits.append(f"skipped {sorted(region.skipped_passes)}")
+            if region.codegen_fallback:
+                bits.append(f"codegen fallback: {region.codegen_fallback}")
+            elif region.codegen_loc:
+                bits.append(
+                    f"codegen {region.codegen_loc} LoC in "
+                    f"{region.codegen_seconds * 1e3:.2f} ms"
+                    + (" (cached)" if region.codegen_cached else "")
+                )
             lines.append(f"  region {region.name}: " + ", ".join(bits))
         return "\n".join(lines)

@@ -41,6 +41,11 @@ class Executable:
     columnar, debug_streams, sim_cache:
         Simulation options inherited from the Session (``None`` = the
         environment defaults).
+    backend:
+        The *resolved* execution backend name (``"interp"``,
+        ``"columnar"``, or ``"codegen"``) this executable was compiled
+        under; ``None`` defers to ``columnar`` / the environment (the
+        pre-backend behavior).
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class Executable:
         columnar: Optional[bool] = None,
         debug_streams: Optional[bool] = None,
         sim_cache: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.compiled = compiled
         self.machine = machine
@@ -62,6 +68,8 @@ class Executable:
         self.columnar = columnar
         self.debug_streams = debug_streams
         self.sim_cache = sim_cache
+        #: Resolved backend name, or None for the env/columnar default.
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Structure
@@ -130,6 +138,7 @@ class Executable:
             self.compiled,
             bind,
             machine or self.machine,
+            backend=self.backend,
             columnar=self.columnar,
             debug_streams=self.debug_streams,
             cache=self.sim_cache,

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..backend.base import resolve_backend_name
 from ..comal.hierarchy import resolve_hierarchy
 from ..comal.machines import Machine, RDA_MACHINE
 from ..core.einsum.ast import EinsumProgram
@@ -29,7 +30,7 @@ from .executable import Executable
 from .pipeline import PassPipeline
 from .sweeping import sweep_schedules
 
-CacheKey = Tuple[str, str, str]
+CacheKey = Tuple[str, str, str, str]
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,13 @@ class Session:
         result memoization.  ``None`` defers to the environment defaults
         (``FUSEFLOW_LEGACY_STREAMS`` / ``FUSEFLOW_DEBUG_STREAMS`` /
         ``FUSEFLOW_NO_SIM_CACHE``).
+    backend:
+        Execution backend name (``"interp"``, ``"columnar"``, or
+        ``"codegen"``).  ``None`` defers to ``columnar`` and then the
+        ``FUSEFLOW_BACKEND`` / ``FUSEFLOW_LEGACY_STREAMS`` environment
+        defaults (see :func:`repro.backend.base.resolve_backend_name`).
+        The resolved name is part of the compile-cache key, so an
+        executable compiled under one backend is never served to another.
     hierarchy:
         Memory hierarchy: a preset name (``"fpga-small"``),
         ``"preset@capacity_bytes"``, or a
@@ -92,9 +100,14 @@ class Session:
         debug_streams: Optional[bool] = None,
         sim_cache: Optional[bool] = None,
         hierarchy: Optional[object] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be positive")
+        if backend is not None:
+            # Validate eagerly: a typo should fail at session construction,
+            # not at the first compile.
+            backend = resolve_backend_name(backend)
         # Memory hierarchy: keep the machine (which the timed engine reads)
         # and the place-memory pass (which decides placements at compile
         # time) in agreement.  ``hierarchy`` accepts a preset name,
@@ -124,6 +137,8 @@ class Session:
         self.columnar = columnar
         self.debug_streams = debug_streams
         self.sim_cache = sim_cache
+        #: Execution backend name; None defers to columnar/environment.
+        self.backend = backend
         self._cache: "OrderedDict[CacheKey, Executable]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -140,12 +155,17 @@ class Session:
         -------
         tuple of str
             ``(program.fingerprint(), schedule.fingerprint(),
-            pipeline.fingerprint())`` — every input the compiler reads.
+            pipeline.fingerprint(), backend)`` — every input the compiler
+            reads plus the execution backend the executable will run
+            under.  The backend is resolved at call time, so flipping
+            ``FUSEFLOW_BACKEND`` between compiles misses the cache rather
+            than serving an executable bound to the old backend.
         """
         return (
             program.fingerprint(),
             schedule.fingerprint(),
             self.pipeline.fingerprint(),
+            resolve_backend_name(self.backend, self.columnar),
         )
 
     def compile(
@@ -185,6 +205,10 @@ class Session:
             compile_seconds=time.perf_counter() - start,
         )
         diagnostics.compile_seconds = compiled.compile_seconds
+        resolved = key[3]
+        diagnostics.backend = resolved
+        if resolved == "codegen":
+            self._prewarm_codegen(compiled, diagnostics)
         executable = Executable(
             compiled,
             self.machine,
@@ -193,11 +217,37 @@ class Session:
             columnar=self.columnar,
             debug_streams=self.debug_streams,
             sim_cache=self.sim_cache,
+            backend=resolved,
         )
         self._cache[key] = executable
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
         return executable
+
+    @staticmethod
+    def _prewarm_codegen(compiled: CompiledProgram, diagnostics) -> None:
+        """Emit + compile every region kernel now, recording per-region cost.
+
+        Codegen cost thereby lands in compile diagnostics (where it is
+        observable via ``--profile``) instead of silently inflating the
+        first execution.
+        """
+        from ..backend.codegen import artifact_for
+
+        by_name = {region.name: region for region in diagnostics.regions}
+        for region in compiled.regions:
+            if region.graph is None:
+                continue
+            artifact = artifact_for(region.graph)
+            diag = by_name.get(region.graph.name)
+            if diag is None:
+                continue
+            diag.codegen_loc = artifact.loc
+            diag.codegen_seconds = (
+                artifact.emit_seconds + artifact.compile_seconds
+            )
+            diag.codegen_cached = artifact.code_cached
+            diag.codegen_fallback = artifact.fallback
 
     # ------------------------------------------------------------------
     # Convenience execution

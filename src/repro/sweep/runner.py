@@ -52,15 +52,18 @@ __all__ = [
 # Per-process caches.  In a worker process these live for the pool's
 # lifetime, so every point handed to that worker shares compile work via
 # the Session cache and tracing work via the bundle cache.
-_SESSIONS: Dict[Tuple[str, Tuple[str, ...], str], Session] = {}
+_SESSIONS: Dict[Tuple[str, Tuple[str, ...], str, str], Session] = {}
 _BUNDLES: Dict[Tuple[str, str, Tuple[Tuple[str, object], ...]], object] = {}
 
 
 def _session_for(
-    machine: str, pipeline: Tuple[str, ...], hierarchy: str = "flat"
+    machine: str,
+    pipeline: Tuple[str, ...],
+    hierarchy: str = "flat",
+    backend: str = "",
 ) -> Session:
-    """The per-process Session for one (machine, pipeline, hierarchy)."""
-    key = (machine, tuple(pipeline), hierarchy)
+    """The per-process Session for (machine, pipeline, hierarchy, backend)."""
+    key = (machine, tuple(pipeline), hierarchy, backend)
     session = _SESSIONS.get(key)
     if session is None:
         session = Session(
@@ -68,6 +71,7 @@ def _session_for(
             pipeline=PassPipeline.from_names(pipeline),
             cache_size=1024,
             hierarchy=hierarchy,
+            backend=backend or None,
         )
         _SESSIONS[key] = session
     return session
@@ -112,7 +116,9 @@ def run_point(point: SweepPoint) -> Dict[str, object]:
     }
     try:
         bundle = _bundle_for(point)
-        session = _session_for(point.machine, point.pipeline, point.hierarchy)
+        session = _session_for(
+            point.machine, point.pipeline, point.hierarchy, point.backend
+        )
         schedule = bundle.schedule(point.schedule)
         schedule.par = dict(point.par)
         schedule.splits = dict(point.splits)

@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..backend.base import BACKEND_NAMES
 from ..comal.hierarchy import resolve_hierarchy
 from ..comal.machines import MACHINES
 from ..core.schedule.split import validate_split_item
@@ -74,6 +75,11 @@ class SweepPoint:
         Memory-hierarchy preset name (``"flat"`` reproduces the DRAM-only
         simulator); accepts the ``preset@capacity_bytes`` form so sweeps
         can grid over buffer sizes.
+    backend:
+        Execution backend name (``"interp"``, ``"columnar"``, or
+        ``"codegen"``); the empty string (default) runs under the worker
+        session's default.  Backends are bit-exact by contract, so this
+        axis changes wall-clock only, never metrics.
     """
 
     model: str
@@ -89,6 +95,8 @@ class SweepPoint:
     splits: Tuple[Tuple[str, int], ...] = ()
     # Memory-hierarchy preset (see repro.comal.hierarchy.HIERARCHIES).
     hierarchy: str = "flat"
+    # Execution backend ("" = worker session default).
+    backend: str = ""
 
     @classmethod
     def make(
@@ -102,6 +110,7 @@ class SweepPoint:
         par: Optional[Dict[str, int]] = None,
         splits: Optional[Dict[str, int]] = None,
         hierarchy: str = "flat",
+        backend: str = "",
     ) -> "SweepPoint":
         """Build a point from plain dict/list arguments.
 
@@ -128,6 +137,7 @@ class SweepPoint:
             par=_freeze_args(par),  # type: ignore[arg-type]
             splits=_freeze_args(normalized),  # type: ignore[arg-type]
             hierarchy=hierarchy,
+            backend=backend,
         )
 
     def validate(self) -> None:
@@ -161,6 +171,11 @@ class SweepPoint:
             resolve_hierarchy(self.hierarchy)
         except ValueError as exc:
             raise SweepSpecError(str(exc)) from None
+        if self.backend and self.backend not in BACKEND_NAMES:
+            raise SweepSpecError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKEND_NAMES} (or '' for the session default)"
+            )
         for index_var, tiles in self.splits:
             try:
                 validate_split_item(index_var, tiles)
@@ -220,6 +235,9 @@ class SweepPoint:
         # Same idiom for the split axis: unsplit points keep their IDs.
         if self.splits:
             parts.append(f"splits {sorted(self.splits)}")
+        # And for the backend axis: default-backend points keep their IDs.
+        if self.backend:
+            parts.append(f"backend {self.backend}")
         return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
     @property
@@ -246,6 +264,8 @@ class SweepPoint:
             bits.append(",".join(f"{k}={v}" for k, v in self.par))
         if self.splits:
             bits.append("split:" + ",".join(f"{k}={v}" for k, v in self.splits))
+        if self.backend:
+            bits.append(f"backend:{self.backend}")
         return "/".join(bits)
 
     # ------------------------------------------------------------------
@@ -263,6 +283,7 @@ class SweepPoint:
             "par": dict(self.par),
             "splits": dict(self.splits),
             "hierarchy": self.hierarchy,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -280,6 +301,7 @@ class SweepPoint:
                 k: int(v) for k, v in (record.get("splits") or {}).items()
             },
             hierarchy=record.get("hierarchy", "flat"),
+            backend=record.get("backend", ""),
         )
 
 
@@ -376,6 +398,10 @@ class SweepSpec:
     # unsplit only.  An empty dict entry is the explicit unsplit baseline,
     # so `splits=[{}, {"x1": 8}]` compares tiled vs untiled point-for-point.
     splits: Optional[List[Dict[str, int]]] = None
+    # Execution-backend axis; None means the session default only.  An
+    # empty string entry is the explicit default baseline, so
+    # `backends=["", "codegen"]` compares backends point-for-point.
+    backends: Optional[List[str]] = None
     # Explicit extra points appended after the grid.
     extra_points: List[SweepPoint] = field(default_factory=list)
     # The schedule speedups are reported against.
@@ -399,6 +425,7 @@ class SweepSpec:
         # pipelines axis treats an empty list — an empty split axis must
         # not zero out the whole grid.
         split_axis = self.splits or [{}]
+        backend_axis = self.backends or [""]
         for model in self.models:
             datasets = self.datasets if self.datasets is not None else [SYNTHETIC]
             valid = set(compatible_datasets(model))
@@ -410,22 +437,24 @@ class SweepSpec:
                     for machine in self.machines:
                         for hierarchy in hierarchies:
                             for split_config in split_axis:
-                                for pipeline in pipelines:
-                                    point = SweepPoint.make(
-                                        model=model,
-                                        dataset=dataset,
-                                        schedule=schedule,
-                                        machine=machine,
-                                        pipeline=pipeline,
-                                        model_args=self.model_args,
-                                        par=self.par,
-                                        splits=split_config,
-                                        hierarchy=hierarchy,
-                                    )
-                                    point.validate()
-                                    if point.point_id not in seen:
-                                        seen.add(point.point_id)
-                                        points.append(point)
+                                for backend in backend_axis:
+                                    for pipeline in pipelines:
+                                        point = SweepPoint.make(
+                                            model=model,
+                                            dataset=dataset,
+                                            schedule=schedule,
+                                            machine=machine,
+                                            pipeline=pipeline,
+                                            model_args=self.model_args,
+                                            par=self.par,
+                                            splits=split_config,
+                                            hierarchy=hierarchy,
+                                            backend=backend,
+                                        )
+                                        point.validate()
+                                        if point.point_id not in seen:
+                                            seen.add(point.point_id)
+                                            points.append(point)
         if self.datasets is not None:
             # A dataset no listed model can use is a typo or a missing
             # model, not cross-model mixing; silently shrinking the grid
@@ -473,6 +502,9 @@ class SweepSpec:
                 if self.splits is None
                 else [dict(config) for config in self.splits]
             ),
+            "backends": (
+                None if self.backends is None else list(self.backends)
+            ),
             "extra_points": [p.to_record() for p in self.extra_points],
             "baseline_schedule": self.baseline_schedule,
         }
@@ -498,6 +530,7 @@ class SweepSpec:
                     for config in record["splits"]
                 ]
             ),
+            backends=record.get("backends"),
             extra_points=[
                 SweepPoint.from_record(p) for p in record.get("extra_points", [])
             ],

@@ -21,7 +21,7 @@ from repro.comal.functional import run_functional
 from repro.comal.machines import RDA_MACHINE
 from repro.core.schedule.split import intermediate_row_splits
 from repro.driver import Session
-from repro.sam.token import TokenStream, streams_equal
+from repro.sam.token import streams_equal
 from repro.sweep import SweepPoint, build_bundle
 
 #: The canonical golden configurations (tests/test_golden_traces.py).
@@ -72,7 +72,11 @@ def test_streams_and_stats_match(model, granularity, hierarchy):
         assert set(func_a.streams) == set(func_b.streams)
         for key in func_a.streams:
             got = func_b.streams[key]
-            assert isinstance(got, TokenStream), key
+            # Both executions run under the session default backend, so
+            # their representations agree (columnar TokenStream under the
+            # default; tuple lists under interp/codegen) — the contract
+            # here is split-vs-unsplit equivalence, not representation.
+            assert type(got) is type(func_a.streams[key]), key
             assert streams_equal(got, func_a.streams[key]), (
                 f"{model}/{granularity}/{hierarchy} stream {key} diverged"
             )
