@@ -46,8 +46,10 @@ from __future__ import annotations
 import hashlib
 import linecache
 import os
+import threading
 import time
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -143,33 +145,69 @@ class RegionArtifact:
 
 #: graph -> (topological order list, artifact).  The order list's identity
 #: doubles as a structure-version tag: SAMGraph rebuilds it on mutation.
+#: Weak keys bound this cache by graph lifetime.
 _GRAPH_ARTIFACTS: "weakref.WeakKeyDictionary[SAMGraph, Tuple[Any, RegionArtifact]]" = (
     weakref.WeakKeyDictionary()
 )
 
-#: source sha -> compiled code object, shared across graphs.
-_CODE_CACHE: Dict[str, Any] = {}
+#: source sha -> compiled code object, shared across graphs.  A bounded
+#: LRU: unlike the weak per-graph cache, nothing ties these entries to a
+#: live object, so an unbounded dict leaks every distinct emitted source
+#: for the life of a serve process.
+_CODE_CACHE: "OrderedDict[str, Any]" = OrderedDict()
+
+#: source sha -> linecache filenames registered for it, purged on eviction
+#: (multiple graphs may register the same source under different names).
+_CODE_FILES: Dict[str, List[str]] = {}
+
+#: Entry cap for the cross-graph source cache.
+CODE_CACHE_LIMIT = 256
+
+#: Guards the caches and counters: the threaded serve front end compiles
+#: from many threads, and unguarded ``dict`` updates lose counts (and can
+#: tear the LRU ordering).
+_CACHE_LOCK = threading.Lock()
 
 _COUNTERS = {
     "artifact_hits": 0,
     "artifact_misses": 0,
     "code_hits": 0,
     "code_misses": 0,
+    "code_evictions": 0,
     "fallbacks": 0,
 }
 
 
 def codegen_cache_info() -> Dict[str, int]:
-    """Snapshot of the artifact/code cache counters (for ``--profile``)."""
-    return dict(_COUNTERS)
+    """Snapshot of the artifact/code cache counters (for ``--profile``).
+
+    Includes ``code_entries``/``code_limit`` so a long-lived process can
+    observe the bounded LRU's occupancy alongside the hit counters.
+    """
+    with _CACHE_LOCK:
+        info = dict(_COUNTERS)
+        info["code_entries"] = len(_CODE_CACHE)
+        info["code_limit"] = CODE_CACHE_LIMIT
+    return info
 
 
 def clear_codegen_caches() -> None:
     """Drop compiled artifacts and reset counters (tests only)."""
-    _GRAPH_ARTIFACTS.clear()
-    _CODE_CACHE.clear()
-    for key in _COUNTERS:
-        _COUNTERS[key] = 0
+    with _CACHE_LOCK:
+        _GRAPH_ARTIFACTS.clear()
+        for sha in list(_CODE_FILES):
+            _purge_code_entry_locked(sha)
+        _CODE_CACHE.clear()
+        _CODE_FILES.clear()
+        for key in _COUNTERS:
+            _COUNTERS[key] = 0
+
+
+def _purge_code_entry_locked(sha: str) -> None:
+    """Drop one source-cache entry and its linecache registrations."""
+    _CODE_CACHE.pop(sha, None)
+    for filename in _CODE_FILES.pop(sha, ()):
+        linecache.cache.pop(filename, None)
 
 
 # ----------------------------------------------------------------------
@@ -965,7 +1003,8 @@ def _compile_artifact(graph: SAMGraph, order: List[str]) -> RegionArtifact:
     try:
         source = emitter.emit()
     except _Unsupported as exc:
-        _COUNTERS["fallbacks"] += 1
+        with _CACHE_LOCK:
+            _COUNTERS["fallbacks"] += 1
         return RegionArtifact(
             region=graph.name,
             node_count=len(order),
@@ -976,22 +1015,37 @@ def _compile_artifact(graph: SAMGraph, order: List[str]) -> RegionArtifact:
     sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
     filename = f"<fuseflow-codegen {graph.name} {sha[:12]}>"
     compile_started = time.perf_counter()
-    code = _CODE_CACHE.get(sha)
-    cached = code is not None
-    if cached:
-        _COUNTERS["code_hits"] += 1
-    else:
-        _COUNTERS["code_misses"] += 1
+    with _CACHE_LOCK:
+        code = _CODE_CACHE.get(sha)
+        cached = code is not None
+        if cached:
+            _COUNTERS["code_hits"] += 1
+            _CODE_CACHE.move_to_end(sha)
+    if not cached:
+        # compile() runs outside the lock (it is the slow part); the
+        # re-insert below keeps the cache single-valued under races.
         code = compile(source, filename, "exec")
-        _CODE_CACHE[sha] = code
-        # Register the source so tracebacks out of the kernel show real
-        # lines instead of an opaque <string> frame.
-        linecache.cache[filename] = (
-            len(source),
-            None,
-            source.splitlines(True),
-            filename,
-        )
+        with _CACHE_LOCK:
+            incumbent = _CODE_CACHE.get(sha)
+            if incumbent is not None:
+                code = incumbent
+                _CODE_CACHE.move_to_end(sha)
+            else:
+                _CODE_CACHE[sha] = code
+                # Register the source so tracebacks out of the kernel show
+                # real lines instead of an opaque <string> frame.
+                linecache.cache[filename] = (
+                    len(source),
+                    None,
+                    source.splitlines(True),
+                    filename,
+                )
+                _CODE_FILES.setdefault(sha, []).append(filename)
+                while len(_CODE_CACHE) > CODE_CACHE_LIMIT:
+                    oldest = next(iter(_CODE_CACHE))
+                    _purge_code_entry_locked(oldest)
+                    _COUNTERS["code_evictions"] += 1
+            _COUNTERS["code_misses"] += 1
     namespace = dict(_SHARED_GLOBALS)
     namespace.update(emitter.env)
     exec(code, namespace)
@@ -1050,13 +1104,15 @@ def artifact_for(graph: SAMGraph) -> RegionArtifact:
     """
     graph.ensure_validated()
     order = graph.topological_order()
-    cached = _GRAPH_ARTIFACTS.get(graph)
-    if cached is not None and cached[0] is order:
-        _COUNTERS["artifact_hits"] += 1
-        return cached[1]
-    _COUNTERS["artifact_misses"] += 1
+    with _CACHE_LOCK:
+        cached = _GRAPH_ARTIFACTS.get(graph)
+        if cached is not None and cached[0] is order:
+            _COUNTERS["artifact_hits"] += 1
+            return cached[1]
+        _COUNTERS["artifact_misses"] += 1
     artifact = _compile_artifact(graph, order)
-    _GRAPH_ARTIFACTS[graph] = (order, artifact)
+    with _CACHE_LOCK:
+        _GRAPH_ARTIFACTS[graph] = (order, artifact)
     return artifact
 
 

@@ -80,6 +80,7 @@ def _session(args) -> Session:
         machine=MACHINES[args.machine],
         hierarchy=_hierarchy_arg(args),
         backend=getattr(args, "backend", None),
+        disk_cache=getattr(args, "cache_dir", None),
     )
 
 
@@ -182,6 +183,15 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
             "analytical heuristic ignores it)"
         ),
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persistent compile-cache directory: compiles are served from "
+            "it when warm and written back when cold (default follows "
+            "FUSEFLOW_CACHE_DIR; unset = in-memory cache only)"
+        ),
+    )
 
 
 def cmd_run(args) -> int:
@@ -220,6 +230,7 @@ def cmd_simulate(args) -> int:
         sim_cache=False if args.no_sim_cache else None,
         hierarchy=_hierarchy_arg(args),
         backend=args.backend,
+        disk_cache=getattr(args, "cache_dir", None),
     )
     exe = session.compile(bundle.program, schedule)
     result = exe(bundle.binding)
@@ -383,8 +394,10 @@ def _sweep_progress():
 def cmd_sweep_run(args, resume: bool = False) -> int:
     if resume and args.out is None:
         raise SystemExit("sweep resume needs --out pointing at a results file")
-    # On resume the spec is read back from the store header inside run_sweep.
-    spec = SweepSpec() if resume else _sweep_spec_from_args(args)
+    # On resume no spec is passed: the store header is the spec (a spec
+    # passed alongside resume would be fingerprint-checked, and the CLI
+    # flags default-construct one that would spuriously mismatch).
+    spec = None if resume else _sweep_spec_from_args(args)
     try:
         outcome = run_sweep(
             spec,
@@ -393,6 +406,7 @@ def cmd_sweep_run(args, resume: bool = False) -> int:
             resume=resume,
             force=getattr(args, "force", False),
             progress=None if args.quiet else _sweep_progress(),
+            cache_dir=getattr(args, "cache_dir", None),
         )
     except Exception as exc:
         raise SystemExit(f"sweep failed: {exc}")
@@ -511,6 +525,30 @@ def cmd_autotune(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the HTTP compile/simulate front end (see docs/serving.md)."""
+    from .serve import make_server
+
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        quiet=args.quiet,
+    )
+    host, port = server.server_address[:2]
+    cache = server.state.disk_cache
+    where = cache.root if cache is not None else "none (in-memory only)"
+    print(f"fuseflow serve listening on http://{host}:{port}")
+    print(f"persistent compile cache: {where}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_compile(args) -> int:
     bundle = _build_model(args)
     session = _session(args)
@@ -613,6 +651,9 @@ def main(argv: List[str] | None = None) -> int:
     p_sw_run.add_argument("--force", action="store_true",
                           help="overwrite an existing results file")
     p_sw_run.add_argument("--quiet", action="store_true", help="no per-point progress")
+    p_sw_run.add_argument("--cache-dir", default=None,
+                          help="persistent compile-cache directory shared by "
+                               "all workers (default: $FUSEFLOW_CACHE_DIR)")
     p_sw_run.set_defaults(fn=cmd_sweep_run)
 
     p_sw_resume = sweep_sub.add_parser(
@@ -621,6 +662,9 @@ def main(argv: List[str] | None = None) -> int:
     p_sw_resume.add_argument("--out", required=True, help="JSONL results file")
     p_sw_resume.add_argument("--workers", type=int, default=None)
     p_sw_resume.add_argument("--quiet", action="store_true")
+    p_sw_resume.add_argument("--cache-dir", default=None,
+                             help="persistent compile-cache directory shared "
+                                  "by all workers")
     p_sw_resume.set_defaults(fn=cmd_sweep_resume)
 
     p_sw_report = sweep_sub.add_parser(
@@ -639,6 +683,19 @@ def main(argv: List[str] | None = None) -> int:
     )
     _add_model_args(p_sw_quick)
     p_sw_quick.set_defaults(fn=cmd_sweep_quick)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP compile/simulate service over a shared session"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8177,
+                         help="bind port (0 picks an ephemeral port)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persistent compile-cache directory "
+                              "(default: $FUSEFLOW_CACHE_DIR)")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-request access logs")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_est = sub.add_parser("estimate", help="rank schedules with the heuristic")
     _add_model_args(p_est)

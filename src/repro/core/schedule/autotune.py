@@ -59,6 +59,19 @@ def partition_space_size(n: int) -> int:
     return 1 << (n - 1) if n > 0 else 0
 
 
+#: (n, max_partitions) pairs whose truncation has already been warned
+#: about.  Every tier-1 autotune run over the same model hits the same
+#: cap; repeating the identical warning per run drowns real ones, so it
+#: fires once per distinct truncation per process (the drop count is
+#: still reported on every run via ``TunedSchedule.partitions_dropped``).
+_TRUNCATION_WARNED: set = set()
+
+
+def reset_truncation_warnings() -> None:
+    """Forget which truncations have warned (tests assert the warning)."""
+    _TRUNCATION_WARNED.clear()
+
+
 def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[int]]]:
     """All contiguous partitions of ``range(n)`` (up to ``max_partitions``).
 
@@ -91,7 +104,12 @@ def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[i
         if truncated:
             break
     total = partition_space_size(n)
-    if truncated and total > len(partitions):
+    if (
+        truncated
+        and total > len(partitions)
+        and (n, max_partitions) not in _TRUNCATION_WARNED
+    ):
+        _TRUNCATION_WARNED.add((n, max_partitions))
         warnings.warn(
             f"contiguous_partitions: kept {len(partitions)} of {total} "
             f"partitions (enumeration cap {max_partitions} — from "

@@ -25,6 +25,7 @@ from .compiled import (
     execute_compiled,
 )
 from .diagnostics import CompileDiagnostics, RegionDiagnostics
+from .diskcache import DiskCache, DiskCacheInfo
 from .executable import Executable
 from .passes import (
     PASS_REGISTRY,
@@ -47,6 +48,8 @@ __all__ = [
     "Session",
     "default_session",
     "CacheInfo",
+    "DiskCache",
+    "DiskCacheInfo",
     "ScheduleRun",
     "sweep_schedules",
     "Executable",

@@ -54,6 +54,14 @@ class CompiledProgram:
         default_factory=dict, repr=False, compare=False
     )
 
+    def __getstate__(self):
+        # The transpose cache is keyed by live object ids; serialized (the
+        # persistent compile cache pickles CompiledPrograms to disk) those
+        # keys are dangling, so the cache travels empty and refills on use.
+        state = dict(self.__dict__)
+        state["transpose_cache"] = {}
+        return state
+
     def total_nodes(self) -> int:
         """Total SAMML node count across all lowered regions."""
         return sum(r.graph.node_count() for r in self.regions if r.graph)

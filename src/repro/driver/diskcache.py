@@ -1,0 +1,306 @@
+"""Content-addressed persistent compile cache.
+
+The Session cache (PR 1) is in-memory and per-process: every new process
+re-pays compilation even for the schedules autotune, sweeps, and serving
+traffic hit over and over.  :class:`DiskCache` is the second cache level —
+a directory of entries keyed by the sha256 of everything the compiler
+reads (program, schedule, pipeline, backend, hierarchy), each holding a
+pickled :class:`~repro.driver.compiled.CompiledProgram` plus its compile
+diagnostics and metadata.  A warm cache directory turns a cold process's
+compile into a read-and-unpickle.
+
+Safety properties, in decreasing order of importance:
+
+* **Atomic under concurrent writers.**  Entries are written to a temp file
+  in the cache directory and ``os.replace``d into place, so a reader never
+  observes a half-written entry and two processes racing on the same key
+  both leave a valid file (last writer wins; the entries are
+  content-identical by construction).
+* **Torn/corrupt entries are misses, not crashes.**  Every entry carries a
+  magic header and a sha256 digest of its payload; a truncated, corrupted,
+  or foreign file fails validation, is deleted, and reads as a miss — the
+  caller just recompiles and rewrites it.
+* **Bounded.**  ``max_entries``/``max_bytes`` caps are enforced after every
+  write by evicting the least-recently-used entries (recency = file mtime,
+  refreshed on every hit), so a long-lived serve fleet cannot grow the
+  directory without bound.
+
+Entries are versioned: :data:`ENTRY_MAGIC` changes whenever the serialized
+form does, so caches written by an incompatible build read as misses
+instead of unpickling garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["DiskCache", "DiskCacheInfo", "ENTRY_MAGIC", "entry_key"]
+
+#: File magic + on-disk format version.  Bump when the entry layout or the
+#: pickled object graph changes incompatibly.
+ENTRY_MAGIC = b"FFDC0001"
+
+_DIGEST_BYTES = 32  # sha256
+_SUFFIX = ".ffc"
+
+
+def entry_key(*parts: str) -> str:
+    """The content-addressed key for one compile: sha256 over its inputs.
+
+    Parameters
+    ----------
+    *parts:
+        Canonical fingerprint strings, typically ``(program, schedule,
+        pipeline, backend, hierarchy)``.  Same idiom as
+        ``EinsumProgram.fingerprint``: a sha256 over a newline-joined
+        textual rendering, so the key depends only on content.
+    """
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class DiskCacheInfo:
+    """Snapshot of a disk cache's counters and occupancy."""
+
+    hits: int
+    misses: int
+    writes: int
+    corrupt: int
+    evictions: int
+    entries: int
+    total_bytes: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.writes} write(s), {self.corrupt} corrupt, "
+            f"{self.evictions} evicted, {self.entries} entr(ies), "
+            f"{self.total_bytes} B"
+        )
+
+
+class DiskCache:
+    """Content-addressed on-disk cache of compiled programs.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created if missing).  Multiple processes may
+        share one directory; writes are atomic renames.
+    max_entries:
+        Entry-count cap; least-recently-used entries are evicted past it.
+    max_bytes:
+        Total-size cap in bytes, enforced the same way.
+
+    Raises
+    ------
+    ValueError
+        If either cap is not positive.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        max_entries: int = 1024,
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.root = os.path.abspath(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        os.makedirs(self.root, exist_ok=True)
+        # Guards the counters; file operations are individually atomic and
+        # deliberately run outside any lock (other processes share the
+        # directory, so a process-local lock cannot order them anyway).
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._corrupt = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        """Absolute path of the entry file for ``key``."""
+        return os.path.join(self.root, key + _SUFFIX)
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load the entry stored under ``key``, or ``None`` on a miss.
+
+        A torn or corrupt entry (bad magic, digest mismatch, unpicklable
+        payload) counts as a miss: the file is removed and ``None`` is
+        returned, so the caller recompiles instead of crashing.
+
+        Returns
+        -------
+        dict or None
+            The mapping passed to :meth:`put` (conventionally
+            ``{"compiled": ..., "diagnostics": ..., "meta": ...}``).
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except (FileNotFoundError, IsADirectoryError, PermissionError):
+            with self._lock:
+                self._misses += 1
+            return None
+        entry = self._decode(blob)
+        if entry is None:
+            # Torn write or foreign file: drop it so the next writer
+            # replaces it with a whole entry.
+            self._remove(path)
+            with self._lock:
+                self._corrupt += 1
+                self._misses += 1
+            return None
+        # Refresh recency for LRU eviction.  Best effort: a concurrent
+        # eviction may have removed the file already.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        with self._lock:
+            self._hits += 1
+        return entry
+
+    def _decode(self, blob: bytes) -> Optional[Dict[str, Any]]:
+        header = len(ENTRY_MAGIC) + _DIGEST_BYTES
+        if len(blob) < header or not blob.startswith(ENTRY_MAGIC):
+            return None
+        digest = blob[len(ENTRY_MAGIC) : header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        try:
+            entry = pickle.loads(payload)
+        except Exception:
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+    def put(self, key: str, entry: Dict[str, Any]) -> bool:
+        """Store ``entry`` under ``key`` atomically; returns success.
+
+        The blob is written to a temp file in the cache directory and
+        renamed into place, so concurrent writers (other threads *and*
+        other processes) never produce a torn entry — the digest a reader
+        validates always covers a complete payload.  Serialization
+        failures are swallowed: the disk cache is an accelerator, never a
+        correctness dependency.
+        """
+        try:
+            payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        blob = ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+        path = self.path_for(key)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-" + key[:8] + "-", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                self._remove(tmp)
+                raise
+        except OSError:
+            return False
+        with self._lock:
+            self._writes += 1
+        self._evict()
+        return True
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Tuple[float, int, str]]:
+        """(mtime, size, path) for every entry file, oldest first."""
+        out: List[Tuple[float, int, str]] = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return out
+        for name in names:
+            if not name.endswith(_SUFFIX):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # evicted by a concurrent process
+            out.append((stat.st_mtime, stat.st_size, path))
+        out.sort()
+        return out
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries past the size/count caps."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        while entries and (
+            len(entries) > self.max_entries or total > self.max_bytes
+        ):
+            _, size, path = entries.pop(0)
+            if self._remove(path):
+                evicted += 1
+            total -= size
+        if evicted:
+            with self._lock:
+                self._evictions += evicted
+
+    @staticmethod
+    def _remove(path: str) -> bool:
+        try:
+            os.remove(path)
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def info(self) -> DiskCacheInfo:
+        """Counters plus current directory occupancy."""
+        entries = self._entries()
+        with self._lock:
+            return DiskCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                corrupt=self._corrupt,
+                evictions=self._evictions,
+                entries=len(entries),
+                total_bytes=sum(size for _, size, _ in entries),
+            )
+
+    def clear(self) -> int:
+        """Remove every entry file; returns how many were removed."""
+        removed = 0
+        for _, _, path in self._entries():
+            if self._remove(path):
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DiskCache {self.root!r} ({self.info()})>"

@@ -14,10 +14,12 @@ at dictionary-lookup cost.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..backend.base import resolve_backend_name
 from ..comal.hierarchy import resolve_hierarchy
@@ -26,6 +28,7 @@ from ..core.einsum.ast import EinsumProgram
 from ..core.schedule.schedule import Schedule, unfused
 from ..ftree.tensor import SparseTensor
 from .compiled import CompiledProgram, ProgramResult
+from .diskcache import DiskCache, entry_key
 from .executable import Executable
 from .pipeline import PassPipeline
 from .sweeping import sweep_schedules
@@ -35,18 +38,27 @@ CacheKey = Tuple[str, str, str, str]
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Snapshot of a session's compile-cache counters."""
+    """Snapshot of a session's compile-cache counters.
+
+    ``disk_hits``/``disk_misses`` count only the in-memory misses that fell
+    through to a configured disk cache (0 when the session has none).
+    """
 
     hits: int
     misses: int
     entries: int
     max_entries: int
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.hits} hit(s), {self.misses} miss(es), "
             f"{self.entries}/{self.max_entries} cached"
         )
+        if self.disk_hits or self.disk_misses:
+            text += f", disk {self.disk_hits}/{self.disk_hits + self.disk_misses}"
+        return text
 
 
 class Session:
@@ -84,6 +96,14 @@ class Session:
         pipeline *without* a ``place-memory`` pass is left alone — that is
         the placement ablation, and the SRAM level then simply goes
         unused.
+    disk_cache:
+        Second cache level behind the in-memory one: a
+        :class:`~repro.driver.diskcache.DiskCache`, a cache-directory
+        path, ``None`` to follow the ``FUSEFLOW_CACHE_DIR`` environment
+        variable (no disk cache when unset), or ``False`` to disable even
+        when the variable is set.  An in-memory miss consults the disk
+        cache before compiling, and fresh compiles are written back, so a
+        warm directory makes cold-process compiles a read-and-unpickle.
 
     Raises
     ------
@@ -101,6 +121,7 @@ class Session:
         sim_cache: Optional[bool] = None,
         hierarchy: Optional[object] = None,
         backend: Optional[str] = None,
+        disk_cache: Union[DiskCache, str, bool, None] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be positive")
@@ -139,9 +160,24 @@ class Session:
         self.sim_cache = sim_cache
         #: Execution backend name; None defers to columnar/environment.
         self.backend = backend
+        if disk_cache is None:
+            disk_cache = os.environ.get("FUSEFLOW_CACHE_DIR") or False
+        if disk_cache is False:
+            self.disk_cache: Optional[DiskCache] = None
+        elif isinstance(disk_cache, DiskCache):
+            self.disk_cache = disk_cache
+        else:
+            self.disk_cache = DiskCache(str(disk_cache))
         self._cache: "OrderedDict[CacheKey, Executable]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+        # The compile cache is shared state under the threaded serve front
+        # end: get/move_to_end/popitem and the counters all race without a
+        # guard.  Compilation itself runs outside the lock (it is the slow
+        # part); the post-compile re-check keeps the cache single-valued.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Compilation
@@ -187,14 +223,72 @@ class Session:
             Callable on bindings; fingerprint-identical compiles return
             the *same* object at dictionary-lookup cost.
         """
+        return self.compile_detailed(program, schedule)[0]
+
+    def compile_detailed(
+        self, program: EinsumProgram, schedule: Optional[Schedule] = None
+    ) -> Tuple[Executable, str]:
+        """Like :meth:`compile`, but also reports where the result came from.
+
+        Returns
+        -------
+        tuple
+            ``(executable, source)`` where ``source`` is ``"memory"``
+            (in-memory cache hit), ``"disk"`` (loaded from the persistent
+            cache), or ``"compiled"`` (fresh pipeline run).  The serve
+            front end surfaces this as the ``X-Fuseflow-Cache`` header.
+        """
         schedule = schedule or unfused(program)
         key = self.cache_key(program, schedule)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._hits += 1
-            self._cache.move_to_end(key)
-            return cached
-        self._misses += 1
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return cached, "memory"
+            self._misses += 1
+        executable, source = self._load_or_compile(key, program, schedule)
+        with self._lock:
+            existing = self._cache.get(key)
+            if existing is not None:
+                # Another thread compiled the same key while we did: keep
+                # the incumbent so every caller shares one Executable.
+                self._cache.move_to_end(key)
+                return existing, source
+            self._cache[key] = executable
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return executable, source
+
+    def _disk_key(self, key: CacheKey) -> str:
+        """The disk-cache key: the session key plus the memory hierarchy.
+
+        The in-memory key omits the hierarchy because a Session's pipeline
+        fingerprint already reflects its configured ``place-memory`` pass;
+        on disk, entries from differently-configured sessions share one
+        directory, so the hierarchy is hashed in explicitly.
+        """
+        return entry_key(*key, self.machine.hierarchy.describe())
+
+    def _load_or_compile(
+        self, key: CacheKey, program: EinsumProgram, schedule: Schedule
+    ) -> Tuple[Executable, str]:
+        resolved = key[3]
+        dkey = None
+        if self.disk_cache is not None:
+            dkey = self._disk_key(key)
+            entry = self.disk_cache.get(dkey)
+            with self._lock:
+                if entry is not None:
+                    self._disk_hits += 1
+                else:
+                    self._disk_misses += 1
+            if entry is not None:
+                compiled = entry["compiled"]
+                diagnostics = entry["diagnostics"]
+                if resolved == "codegen":
+                    self._prewarm_codegen(compiled, diagnostics)
+                return self._wrap(compiled, diagnostics, key), "disk"
         start = time.perf_counter()
         regions, decls, diagnostics = self.pipeline.run(program, schedule)
         compiled = CompiledProgram(
@@ -205,11 +299,31 @@ class Session:
             compile_seconds=time.perf_counter() - start,
         )
         diagnostics.compile_seconds = compiled.compile_seconds
-        resolved = key[3]
         diagnostics.backend = resolved
         if resolved == "codegen":
             self._prewarm_codegen(compiled, diagnostics)
-        executable = Executable(
+        if self.disk_cache is not None and dkey is not None:
+            self.disk_cache.put(
+                dkey,
+                {
+                    "compiled": compiled,
+                    "diagnostics": diagnostics,
+                    "meta": {
+                        "program": program.name,
+                        "schedule": schedule.name,
+                        "backend": resolved,
+                        "hierarchy": self.machine.hierarchy.describe(),
+                        "compile_seconds": compiled.compile_seconds,
+                        "created": time.time(),
+                    },
+                },
+            )
+        return self._wrap(compiled, diagnostics, key), "compiled"
+
+    def _wrap(
+        self, compiled: CompiledProgram, diagnostics, key: CacheKey
+    ) -> Executable:
+        return Executable(
             compiled,
             self.machine,
             diagnostics,
@@ -217,12 +331,8 @@ class Session:
             columnar=self.columnar,
             debug_streams=self.debug_streams,
             sim_cache=self.sim_cache,
-            backend=resolved,
+            backend=key[3],
         )
-        self._cache[key] = executable
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-        return executable
 
     @staticmethod
     def _prewarm_codegen(compiled: CompiledProgram, diagnostics) -> None:
@@ -301,18 +411,28 @@ class Session:
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
         """Snapshot of the compile-cache counters (hits/misses/entries)."""
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            entries=len(self._cache),
-            max_entries=self.cache_size,
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._cache),
+                max_entries=self.cache_size,
+                disk_hits=self._disk_hits,
+                disk_misses=self._disk_misses,
+            )
 
     def clear_cache(self) -> None:
-        """Drop every cached executable and reset the hit/miss counters."""
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        """Drop every cached executable and reset the hit/miss counters.
+
+        The persistent disk cache (when configured) is left alone; use
+        ``session.disk_cache.clear()`` to empty it.
+        """
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+            self._disk_hits = 0
+            self._disk_misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -78,6 +78,17 @@ class SAMGraph:
         self.func_cache: Optional[Any] = None
         self.timed_cache: Optional[Any] = None
 
+    def __getstate__(self):
+        # The executor memo slots hold simulation results keyed by tensor
+        # identity — meaningless (and potentially huge) in another process.
+        # Dropping them keeps serialized graphs (persistent compile cache)
+        # pure structure; the structure caches (_topo_cache etc.) are plain
+        # data and travel as-is.
+        state = dict(self.__dict__)
+        state["func_cache"] = None
+        state["timed_cache"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

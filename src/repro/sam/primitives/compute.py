@@ -105,6 +105,19 @@ class BinaryALU(Primitive):
         self.op = op
         self._fn = _BINARY_OPS[op]
 
+    def __getstate__(self):
+        # ``_fn`` is a module-level lambda looked up by op name; pickling
+        # it directly fails (and would be redundant), so it is dropped and
+        # restored from the op table (the persistent compile cache
+        # serializes whole region graphs).
+        state = dict(self.__dict__)
+        state.pop("_fn", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._fn = _BINARY_OPS[self.op]
+
     def describe(self) -> str:
         return f"alu({self.op})"
 
@@ -294,6 +307,16 @@ class UnaryALU(Primitive):
         self.scale = scale
         self.offset = offset
         self._fn = _UNARY_OPS[op]
+
+    def __getstate__(self):
+        # Same idiom as BinaryALU: the lambda is restored from the op table.
+        state = dict(self.__dict__)
+        state.pop("_fn", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._fn = _UNARY_OPS[self.op]
 
     def describe(self) -> str:
         extra = ""

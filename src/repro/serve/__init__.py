@@ -1,0 +1,24 @@
+"""Compile-as-a-service front end over the FuseFlow driver.
+
+``fuseflow serve`` exposes the compiler and simulator over HTTP (stdlib
+:mod:`http.server`, no new dependencies): einsum programs and model sweep
+points arrive as JSON, compile through shared
+:class:`~repro.driver.session.Session`\\ s backed by one persistent
+:class:`~repro.driver.diskcache.DiskCache`, and identical in-flight
+requests are collapsed onto a single compile by
+:class:`~repro.serve.dedup.SingleFlight`.  See ``docs/serving.md``.
+"""
+
+from .app import FuseFlowServer, ServerState, make_server
+from .dedup import SingleFlight
+from .protocol import ServeError, ServeRequest, parse_request
+
+__all__ = [
+    "FuseFlowServer",
+    "ServerState",
+    "make_server",
+    "SingleFlight",
+    "ServeError",
+    "ServeRequest",
+    "parse_request",
+]

@@ -1,0 +1,315 @@
+"""``fuseflow serve``: a threaded HTTP front end over shared Sessions.
+
+Stdlib only (:mod:`http.server`); one :class:`ServerState` owns everything
+the handler threads share:
+
+* one :class:`~repro.driver.session.Session` per (machine, hierarchy,
+  backend), all attached to one :class:`~repro.driver.diskcache.DiskCache`
+  — so a serve process restarted over a warm cache directory answers its
+  first compile with a read-and-unpickle;
+* a model-bundle cache (tracing a model once per process, like sweep
+  workers);
+* a :class:`~repro.serve.dedup.SingleFlight` collapsing identical
+  in-flight requests onto one execution.
+
+Endpoints::
+
+    GET  /healthz      liveness
+    GET  /v1/stats     request/dedup/cache counters (JSON)
+    POST /v1/compile   compile a model point or raw einsum program
+    POST /v1/simulate  compile + execute + verify a model point
+
+Every POST response carries ``X-Fuseflow-Cache`` (``memory`` / ``disk`` /
+``compiled``), ``X-Fuseflow-Deduped`` (this request rode an in-flight
+identical one), and ``X-Fuseflow-Compile-Ms``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..comal.machines import MACHINES
+from ..core.einsum.parser import parse_program
+from ..core.schedule.schedule import fully_fused, unfused
+from ..driver.diskcache import DiskCache
+from ..driver.session import Session
+from ..models.common import VERIFY_TOLERANCE
+from ..sweep.spec import build_bundle
+from .dedup import SingleFlight
+from .protocol import ServeError, ServeRequest, parse_request
+
+__all__ = ["ServerState", "FuseFlowServer", "make_server"]
+
+_POST_ACTIONS = {"/v1/compile": "compile", "/v1/simulate": "simulate"}
+
+
+class ServerState:
+    """Shared compile/execute state behind the HTTP handler threads.
+
+    Parameters
+    ----------
+    cache_dir:
+        Persistent compile-cache directory every session shares; ``None``
+        follows ``FUSEFLOW_CACHE_DIR`` (no disk cache when unset).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        if cache_dir is None:
+            cache_dir = os.environ.get("FUSEFLOW_CACHE_DIR") or None
+        self.disk_cache: Optional[DiskCache] = (
+            DiskCache(cache_dir) if cache_dir else None
+        )
+        self.flight = SingleFlight()
+        self._lock = threading.Lock()
+        self._sessions: Dict[Tuple[str, str, str], Session] = {}
+        self._bundles: Dict[Tuple[str, str, tuple], Any] = {}
+        self._requests = 0
+        self._compiles = 0
+        self._errors = 0
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # Shared resources
+    # ------------------------------------------------------------------
+    def session_for(
+        self, machine: str, hierarchy: str, backend: str
+    ) -> Session:
+        """The shared Session for (machine, hierarchy, backend)."""
+        key = (machine, hierarchy, backend)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                session = Session(
+                    machine=MACHINES[machine],
+                    hierarchy=hierarchy,
+                    backend=backend or None,
+                    # False (not None): the env var is folded into this
+                    # state's shared DiskCache already, so sessions must
+                    # not each grow a private second instance.
+                    disk_cache=self.disk_cache
+                    if self.disk_cache is not None
+                    else False,
+                )
+                self._sessions[key] = session
+            return session
+
+    def bundle_for(self, point):
+        """The cached model bundle for a point (traced once per process)."""
+        key = (point.model, point.dataset, tuple(point.model_args))
+        with self._lock:
+            bundle = self._bundles.get(key)
+        if bundle is not None:
+            return bundle
+        bundle = build_bundle(point)
+        with self._lock:
+            # Another thread may have traced the same model meanwhile;
+            # keep the incumbent so callers share one bundle.
+            return self._bundles.setdefault(key, bundle)
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def handle(self, request: ServeRequest) -> Tuple[Dict[str, Any], Dict[str, str]]:
+        """Execute one request (deduplicated); returns (payload, headers)."""
+        with self._lock:
+            self._requests += 1
+        result, deduped = self.flight.run(
+            request.key(), lambda: self._execute(request)
+        )
+        headers = dict(result["headers"])
+        headers["X-Fuseflow-Deduped"] = "1" if deduped else "0"
+        payload = dict(result["payload"])
+        payload["deduped"] = deduped
+        return payload, headers
+
+    def count_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def _execute(self, request: ServeRequest) -> Dict[str, Any]:
+        started = time.perf_counter()
+        session = self.session_for(
+            request.machine, request.hierarchy, request.backend
+        )
+        bundle = None
+        if request.point is not None:
+            bundle = self.bundle_for(request.point)
+            program = bundle.program
+            schedule = bundle.schedule(request.schedule)
+            schedule.par = dict(request.point.par)
+            schedule.splits = dict(request.point.splits)
+        else:
+            program = parse_program(request.program_text, request.program_name)
+            schedule = (
+                unfused(program)
+                if request.schedule == "unfused"
+                else fully_fused(program)
+            )
+        executable, source = session.compile_detailed(program, schedule)
+        if source == "compiled":
+            with self._lock:
+                self._compiles += 1
+        diagnostics = executable.diagnostics
+        payload: Dict[str, Any] = {
+            "action": request.action,
+            "label": request.label(),
+            "key": request.key(),
+            "cache": source,
+            "program": program.name,
+            "schedule": schedule.name,
+            "backend": diagnostics.backend,
+            "regions": len(executable.compiled.regions),
+            "compile_seconds": executable.compiled.compile_seconds,
+        }
+        if request.action == "simulate":
+            result = executable(bundle.binding)
+            metrics = result.metrics
+            max_abs_err = bundle.max_abs_err(result)
+            payload["metrics"] = {
+                "cycles": metrics.cycles,
+                "flops": metrics.flops,
+                "dram_bytes": metrics.dram_bytes,
+                "sram_bytes": metrics.sram_bytes,
+                "spill_bytes": metrics.spill_bytes,
+                "fill_bytes": metrics.fill_bytes,
+                "tokens": metrics.tokens,
+                "num_kernels": metrics.num_kernels,
+            }
+            payload["max_abs_err"] = max_abs_err
+            payload["verified"] = bool(max_abs_err < VERIFY_TOLERANCE)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        payload["elapsed_ms"] = elapsed_ms
+        headers = {
+            "X-Fuseflow-Cache": source,
+            "X-Fuseflow-Compile-Ms": f"{elapsed_ms:.2f}",
+        }
+        return {"payload": payload, "headers": headers}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counters for monitoring and the serve tests' dedup assertions."""
+        flight = self.flight.stats()
+        with self._lock:
+            sessions = {
+                "/".join(filter(None, key)) or "default": str(
+                    session.cache_info()
+                )
+                for key, session in self._sessions.items()
+            }
+            data: Dict[str, Any] = {
+                "requests": self._requests,
+                "compiles": self._compiles,
+                "errors": self._errors,
+                "deduped": flight["followers"],
+                "inflight": flight["inflight"],
+                "uptime_seconds": time.time() - self._started,
+                "sessions": sessions,
+            }
+        if self.disk_cache is not None:
+            data["disk_cache"] = asdict(self.disk_cache.info())
+            data["disk_cache"]["root"] = self.disk_cache.root
+        return data
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "fuseflow-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+    @property
+    def state(self) -> ServerState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/v1/stats":
+            self._send(200, self.state.stats())
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        action = _POST_ACTIONS.get(self.path)
+        if action is None:
+            self._send(
+                404,
+                {
+                    "error": f"unknown path {self.path!r}; POST one of "
+                    f"{sorted(_POST_ACTIONS)}"
+                },
+            )
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length)
+        try:
+            request = parse_request(raw, action)
+        except ServeError as exc:
+            self.state.count_error()
+            self._send(400, {"error": str(exc)})
+            return
+        try:
+            payload, headers = self.state.handle(request)
+        except Exception as exc:  # compile/simulate failure: a 500, not a crash
+            self.state.count_error()
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._send(200, payload, headers)
+
+    # ------------------------------------------------------------------
+    def _send(
+        self,
+        code: int,
+        obj: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(obj).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class FuseFlowServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ServerState`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        state: ServerState,
+        quiet: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.state = state
+        self.quiet = quiet
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8177,
+    cache_dir: Optional[str] = None,
+    quiet: bool = False,
+) -> FuseFlowServer:
+    """Build a ready-to-run serve front end (``port=0`` = ephemeral).
+
+    The caller owns the lifecycle: ``server.serve_forever()`` to run,
+    ``server.shutdown()`` + ``server.server_close()`` to stop.
+    """
+    return FuseFlowServer((host, port), ServerState(cache_dir), quiet=quiet)

@@ -1,0 +1,75 @@
+"""Single-flight execution: identical in-flight requests share one run.
+
+Serving traffic is bursty and repetitive — a fleet warming up POSTs the
+same compile K times at once.  The Session cache alone does not collapse
+that burst: all K threads miss the (empty) cache together and K compiles
+run.  :class:`SingleFlight` closes the window: the first thread in for a
+key becomes the *leader* and does the work; every thread that arrives
+while it is in flight becomes a *follower* and blocks on the leader's
+future, so K concurrent identical requests cost exactly one execution.
+
+Results are intentionally NOT cached here — once the leader finishes, the
+next request for the same key runs again (and then hits the Session /
+disk cache).  Single-flight is a concurrency collapse, not a cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Per-key deduplication of concurrent identical work."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._leaders = 0
+        self._followers = 0
+
+    def run(self, key: str, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent burst of ``key``.
+
+        Returns
+        -------
+        tuple
+            ``(result, deduped)``: the leader's result and whether this
+            caller was a follower (``True`` = it waited instead of
+            running).  A leader's exception propagates to every follower.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self._followers += 1
+                leader = False
+            else:
+                future = Future()
+                self._inflight[key] = future
+                self._leaders += 1
+                leader = True
+        if not leader:
+            return future.result(), True
+        try:
+            result = fn()
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            future.set_exception(exc)
+            raise
+        with self._lock:
+            self._inflight.pop(key, None)
+        future.set_result(result)
+        return result, False
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: leaders (executions), followers (deduped), in flight."""
+        with self._lock:
+            return {
+                "leaders": self._leaders,
+                "followers": self._followers,
+                "inflight": len(self._inflight),
+            }

@@ -1,0 +1,218 @@
+"""Serve protocol: JSON request bodies -> validated work units.
+
+One request describes one compile (or compile-and-simulate) the same way a
+sweep point does — model requests reuse :class:`~repro.sweep.spec.SweepPoint`
+verbatim, so anything expressible in a sweep grid is servable, with the
+identical validation errors.  Raw einsum programs (the concrete syntax of
+:func:`~repro.core.einsum.parser.parse_program`) are accepted for
+compile-only requests, which carry no tensor binding to simulate against.
+
+Every request renders to a canonical content key (:meth:`ServeRequest.key`,
+the usual sha256-over-canonical-rendering idiom) — the serve front end
+deduplicates identical in-flight requests on it, so a thundering herd of
+equal requests costs one compile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ..backend.base import BACKEND_NAMES
+from ..comal.hierarchy import resolve_hierarchy
+from ..comal.machines import MACHINES
+from ..core.einsum.ast import EinsumError
+from ..core.einsum.parser import parse_program
+from ..sweep.spec import SYNTHETIC, SweepPoint, SweepSpecError
+
+__all__ = ["ServeError", "ServeRequest", "parse_request"]
+
+#: JSON keys a request body may carry; anything else is a loud 400 (a typoed
+#: knob silently ignored would serve the wrong experiment).
+_ALLOWED_KEYS = frozenset(
+    {
+        "model",
+        "dataset",
+        "schedule",
+        "machine",
+        "hierarchy",
+        "backend",
+        "model_args",
+        "par",
+        "splits",
+        "program",
+        "name",
+    }
+)
+
+_PROGRAM_SCHEDULES = ("unfused", "full")
+
+
+class ServeError(ValueError):
+    """Malformed serve request; the front end maps it to HTTP 400."""
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One validated serve work unit (hashable, content-addressed).
+
+    Exactly one of ``point`` (a model request, sweep-point semantics) and
+    ``program_text`` (raw einsum source, compile-only) is set.
+    """
+
+    action: str  # "compile" | "simulate"
+    machine: str
+    hierarchy: str
+    backend: str
+    schedule: str
+    point: Optional[SweepPoint] = None
+    program_text: Optional[str] = None
+    program_name: str = "program"
+
+    def key(self) -> str:
+        """Canonical content key: sha256 over everything the request reads.
+
+        Two requests share a key iff they would do byte-identical work, so
+        the single-flight layer can collapse them onto one execution.
+        """
+        if self.point is not None:
+            parts = {"action": self.action, "point": self.point.to_record()}
+        else:
+            parts = {
+                "action": self.action,
+                "program": self.program_text,
+                "name": self.program_name,
+                "schedule": self.schedule,
+                "machine": self.machine,
+                "hierarchy": self.hierarchy,
+                "backend": self.backend,
+            }
+        rendering = json.dumps(parts, sort_keys=True)
+        return hashlib.sha256(rendering.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Human-readable request name for logs and responses."""
+        if self.point is not None:
+            return self.point.label()
+        return f"{self.program_name}/{self.schedule}/{self.machine}"
+
+
+def _require_mapping(data: dict, field: str) -> dict:
+    value = data.get(field) or {}
+    if not isinstance(value, dict):
+        raise ServeError(f"{field!r} must be a JSON object")
+    return value
+
+
+def parse_request(raw: bytes, action: str) -> ServeRequest:
+    """Parse and validate one request body; raises :class:`ServeError`.
+
+    Parameters
+    ----------
+    raw:
+        The HTTP request body (JSON).
+    action:
+        ``"compile"`` or ``"simulate"`` (from the endpoint path).
+    """
+    if action not in ("compile", "simulate"):
+        raise ServeError(f"unknown action {action!r}")
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ServeError("request body must be a JSON object")
+    unknown = sorted(set(data) - _ALLOWED_KEYS)
+    if unknown:
+        raise ServeError(
+            f"unknown request key(s) {unknown}; valid keys: "
+            f"{sorted(_ALLOWED_KEYS)}"
+        )
+    has_model = bool(data.get("model"))
+    has_program = "program" in data
+    if has_model == has_program:
+        raise ServeError(
+            "pass exactly one of 'model' (a registered model name) or "
+            "'program' (raw einsum source text)"
+        )
+    machine = str(data.get("machine", "rda"))
+    hierarchy = str(data.get("hierarchy", "flat"))
+    backend = str(data.get("backend", ""))
+
+    if has_model:
+        schedule = str(data.get("schedule", "partial"))
+        try:
+            point = SweepPoint.make(
+                model=str(data["model"]),
+                dataset=str(data.get("dataset", SYNTHETIC)),
+                schedule=schedule,
+                machine=machine,
+                model_args=_require_mapping(data, "model_args"),
+                par={
+                    k: int(v) for k, v in _require_mapping(data, "par").items()
+                },
+                splits={
+                    k: int(v)
+                    for k, v in _require_mapping(data, "splits").items()
+                },
+                hierarchy=hierarchy,
+                backend=backend,
+            )
+            point.validate()
+        except (SweepSpecError, TypeError, ValueError) as exc:
+            raise ServeError(str(exc)) from None
+        return ServeRequest(
+            action=action,
+            machine=machine,
+            hierarchy=hierarchy,
+            backend=backend,
+            schedule=schedule,
+            point=point,
+        )
+
+    # Raw einsum source: compile-only (there is no tensor binding to run).
+    if action != "compile":
+        raise ServeError(
+            "program-text requests are compile-only; POST /v1/compile "
+            "(simulate needs a model, which carries its tensor binding)"
+        )
+    text = data["program"]
+    if not isinstance(text, str) or not text.strip():
+        raise ServeError("'program' must be non-empty einsum source text")
+    schedule = str(data.get("schedule", "unfused"))
+    if schedule not in _PROGRAM_SCHEDULES:
+        raise ServeError(
+            f"program-text requests support schedule in "
+            f"{_PROGRAM_SCHEDULES}, got {schedule!r}"
+        )
+    if machine not in MACHINES:
+        raise ServeError(
+            f"unknown machine {machine!r}; expected one of {sorted(MACHINES)}"
+        )
+    try:
+        resolve_hierarchy(hierarchy)
+    except ValueError as exc:
+        raise ServeError(str(exc)) from None
+    if backend and backend not in BACKEND_NAMES:
+        raise ServeError(
+            f"unknown backend {backend!r}; expected one of {BACKEND_NAMES} "
+            "(or '' for the session default)"
+        )
+    name = str(data.get("name", "program"))
+    try:
+        # Parse eagerly so a syntax error is a clean 400 at the door, not
+        # a 500 from inside the compile path.
+        parse_program(text, name)
+    except EinsumError as exc:
+        raise ServeError(f"program does not parse: {exc}") from None
+    return ServeRequest(
+        action=action,
+        machine=machine,
+        hierarchy=hierarchy,
+        backend=backend,
+        schedule=schedule,
+        program_text=text,
+        program_name=name,
+    )

@@ -34,6 +34,7 @@ from .runner import (
     SweepRunner,
     run_point,
     run_sweep,
+    set_worker_cache_dir,
     sweep_schedules,
 )
 from .spec import (
@@ -57,6 +58,7 @@ __all__ = [
     "SweepOutcome",
     "run_sweep",
     "run_point",
+    "set_worker_cache_dir",
     "sweep_schedules",
     "ScheduleRun",
     "ResultStore",

@@ -43,6 +43,7 @@ __all__ = [
     "run_point",
     "clear_worker_caches",
     "default_workers",
+    "set_worker_cache_dir",
 ]
 
 # ----------------------------------------------------------------------
@@ -52,8 +53,26 @@ __all__ = [
 # Per-process caches.  In a worker process these live for the pool's
 # lifetime, so every point handed to that worker shares compile work via
 # the Session cache and tracing work via the bundle cache.
-_SESSIONS: Dict[Tuple[str, Tuple[str, ...], str, str], Session] = {}
+_SESSIONS: Dict[Tuple[str, Tuple[str, ...], str, str, str], Session] = {}
 _BUNDLES: Dict[Tuple[str, str, Tuple[Tuple[str, object], ...]], object] = {}
+
+# Persistent compile-cache directory worker sessions attach to.  ``None``
+# defers to Session's own resolution (the FUSEFLOW_CACHE_DIR environment
+# variable, else no disk cache).  Set via :func:`set_worker_cache_dir` —
+# which also serves as the process-pool initializer, so spawned workers
+# (not just forked ones) see the runner's choice.
+_CACHE_DIR: Optional[str] = None
+
+
+def set_worker_cache_dir(cache_dir: Optional[str]) -> None:
+    """Point this process's worker sessions at a persistent compile cache.
+
+    Doubles as the worker-pool initializer: :class:`SweepRunner` passes its
+    ``cache_dir`` through here so every worker's sessions warm-start from
+    (and write back to) the same on-disk cache as the parent.
+    """
+    global _CACHE_DIR
+    _CACHE_DIR = cache_dir
 
 
 def _session_for(
@@ -63,7 +82,7 @@ def _session_for(
     backend: str = "",
 ) -> Session:
     """The per-process Session for (machine, pipeline, hierarchy, backend)."""
-    key = (machine, tuple(pipeline), hierarchy, backend)
+    key = (machine, tuple(pipeline), hierarchy, backend, _CACHE_DIR or "")
     session = _SESSIONS.get(key)
     if session is None:
         session = Session(
@@ -72,6 +91,7 @@ def _session_for(
             cache_size=1024,
             hierarchy=hierarchy,
             backend=backend or None,
+            disk_cache=_CACHE_DIR,
         )
         _SESSIONS[key] = session
     return session
@@ -234,6 +254,13 @@ class SweepRunner:
         inline.
     resume:
         Skip points whose latest store record succeeded.
+    cache_dir:
+        Optional persistent compile-cache directory
+        (:class:`~repro.driver.diskcache.DiskCache`); worker sessions —
+        inline and in pool processes — warm-start compiles from it and
+        write new entries back, so repeated sweeps over the same grid pay
+        lowering once per entry, not once per process.  ``None`` defers to
+        ``FUSEFLOW_CACHE_DIR``.
     """
 
     def __init__(
@@ -242,11 +269,13 @@ class SweepRunner:
         store: Optional[ResultStore] = None,
         workers: Optional[int] = None,
         resume: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.store = store
         self.workers = default_workers() if workers is None else max(1, workers)
         self.resume = resume
+        self.cache_dir = cache_dir
 
     def run(
         self, progress: Optional[Callable[[Dict[str, object]], None]] = None
@@ -285,6 +314,8 @@ class SweepRunner:
                 progress(record)
 
         if self.workers == 1 or len(todo) <= 1:
+            if self.cache_dir is not None:
+                set_worker_cache_dir(self.cache_dir)
             for point in todo:
                 _collect(run_point(point))
         else:
@@ -319,7 +350,12 @@ class SweepRunner:
             ctx = multiprocessing.get_context()
         workers = min(self.workers, len(todo))
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=ctx
+            max_workers=workers,
+            mp_context=ctx,
+            # The initializer (not fork inheritance) carries the cache dir,
+            # so spawn-based platforms get it too.
+            initializer=set_worker_cache_dir,
+            initargs=(self.cache_dir,),
         ) as pool:
             futures = [
                 pool.submit(_run_point_record, point.to_record())
@@ -330,19 +366,23 @@ class SweepRunner:
 
 
 def run_sweep(
-    spec: SweepSpec,
+    spec: Optional[SweepSpec] = None,
     store_path: Optional[str] = None,
     workers: Optional[int] = None,
     resume: bool = False,
     force: bool = False,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    cache_dir: Optional[str] = None,
 ) -> SweepOutcome:
     """One-call convenience: open/create the store and run the sweep.
 
     Parameters
     ----------
     spec:
-        The sweep to run (ignored on resume: the store's header wins).
+        The sweep to run.  On resume it may be ``None`` — the store's
+        header is the spec then; a caller-supplied spec is *checked*
+        against that header by fingerprint and a mismatch raises (an old
+        results file must never silently hijack a different sweep).
     store_path:
         JSONL results file; ``None`` keeps results in memory only.
     workers:
@@ -353,6 +393,9 @@ def run_sweep(
         Overwrite an existing results file instead of refusing.
     progress:
         Optional per-record callback.
+    cache_dir:
+        Persistent compile-cache directory shared by all worker sessions
+        (see :class:`SweepRunner`).
 
     Returns
     -------
@@ -361,14 +404,17 @@ def run_sweep(
     Raises
     ------
     ResultStoreError
-        Resume without a store path, a missing/corrupt results file, or
-        an existing file without ``force``.
+        Resume without a store path, a missing/corrupt results file, an
+        existing file without ``force``, or a resume spec whose
+        fingerprint disagrees with the stored header.
     """
     store: Optional[ResultStore] = None
     if resume and store_path is None:
         raise ResultStoreError(
             "resume=True needs store_path (there is nothing to resume from)"
         )
+    if spec is None and not resume:
+        raise ResultStoreError("spec is required unless resuming from a store")
     if store_path is not None:
         if resume:
             store = ResultStore.open(store_path)
@@ -378,12 +424,29 @@ def run_sweep(
                     f"results file {store_path!r} has no spec header; cannot "
                     "resume (was it generated by `sweep run`?)"
                 )
+            if spec is not None:
+                caller_fp = spec.fingerprint()
+                stored_fp = stored_spec.fingerprint()
+                if caller_fp != stored_fp:
+                    raise ResultStoreError(
+                        f"resume spec mismatch for {store_path!r}: the "
+                        f"caller's spec (fingerprint {caller_fp[:16]}) is "
+                        "not the sweep this results file records "
+                        f"(fingerprint {stored_fp[:16]}); resuming would "
+                        "run the stored grid, not the requested one — pass "
+                        "spec=None to continue the stored sweep, or a new "
+                        "store_path to start this one"
+                    )
             spec = stored_spec
         else:
             store = ResultStore.create(store_path, spec, force=force)
     try:
         return SweepRunner(
-            spec, store=store, workers=workers, resume=resume
+            spec,
+            store=store,
+            workers=workers,
+            resume=resume,
+            cache_dir=cache_dir,
         ).run(progress)
     finally:
         if store is not None:

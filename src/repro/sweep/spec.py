@@ -481,6 +481,22 @@ class SweepSpec:
         return points
 
     # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash over the whole spec.
+
+        Same idiom as :meth:`SweepPoint.fingerprint` (sha256 over a
+        canonical rendering — here the sorted-keys JSON of
+        :meth:`to_record`), so two specs agree iff they describe the same
+        experiment.  ``run_sweep(resume=True)`` compares the caller's spec
+        against the stored header through this, refusing to silently
+        resume a *different* sweep under an old results file.
+        """
+        rendering = json.dumps(self.to_record(), sort_keys=True)
+        return hashlib.sha256(rendering.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_record(self) -> Dict[str, object]:

@@ -9,6 +9,17 @@ import os
 os.environ.setdefault("FUSEFLOW_DEBUG_STREAMS", "1")
 
 
+def pytest_configure(config):
+    # The autotune truncation warning fires once per (n, cap) per process;
+    # tests that assert it reset the seen-set first (pytest.warns captures
+    # regardless of filters).  Everywhere else it is expected noise from
+    # bounded enumeration, so filter it to keep real warnings visible.
+    config.addinivalue_line(
+        "filterwarnings",
+        "ignore:contiguous_partitions. kept:UserWarning",
+    )
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--regen-golden",

@@ -1,0 +1,336 @@
+"""Persistent compile cache + Session thread safety (repro.driver.diskcache).
+
+Covers the disk cache's safety contract — atomic writes under concurrent
+writer *processes*, torn/corrupt entries degrading to misses, LRU
+eviction order — plus the two cache levels composed: cross-session and
+cross-process warm starts that skip the pass pipeline entirely, and the
+Session compile cache hammered from many threads (the serve front end's
+access pattern).
+"""
+
+import multiprocessing
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.driver import DiskCache, Session
+from repro.driver.diskcache import ENTRY_MAGIC, entry_key
+from repro.models.gcn import gcn_on_synthetic
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return gcn_on_synthetic(nodes=16, density=0.2, seed=0)
+
+
+# ----------------------------------------------------------------------
+# DiskCache basics
+# ----------------------------------------------------------------------
+
+
+class TestDiskCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key = entry_key("prog", "sched", "pipe")
+        entry = {"compiled": [1, 2, 3], "meta": {"name": "x"}}
+        assert cache.put(key, entry)
+        assert cache.get(key) == entry
+        info = cache.info()
+        assert info.writes == 1 and info.hits == 1 and info.entries == 1
+
+    def test_missing_key_is_miss(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        assert cache.get(entry_key("nope")) is None
+        assert cache.info().misses == 1
+
+    def test_entry_key_is_content_addressed(self):
+        assert entry_key("a", "b") == entry_key("a", "b")
+        assert entry_key("a", "b") != entry_key("a", "c")
+
+    def test_invalid_caps_raise(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            DiskCache(str(tmp_path), max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(str(tmp_path), max_bytes=0)
+
+    def test_torn_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key = entry_key("k")
+        cache.put(key, {"v": "x" * 256})
+        path = cache.path_for(key)
+        blob = open(path, "rb").read()
+        # A crash mid-write before the rename never produces this (the
+        # rename is atomic), but a torn file from e.g. a copied cache
+        # directory must read as a miss, not a crash.
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert cache.get(key) is None
+        assert not os.path.exists(path)
+        info = cache.info()
+        assert info.corrupt == 1 and info.misses == 1
+
+    def test_flipped_payload_byte_fails_digest(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key = entry_key("k")
+        cache.put(key, {"v": 1})
+        path = cache.path_for(key)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        assert cache.get(key) is None
+        assert cache.info().corrupt == 1
+
+    def test_foreign_file_is_corrupt(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key = entry_key("k")
+        with open(cache.path_for(key), "wb") as fh:
+            fh.write(b"this is not a cache entry")
+        assert cache.get(key) is None
+        assert cache.info().corrupt == 1
+
+    def test_wrong_magic_is_corrupt(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        key = entry_key("k")
+        cache.put(key, {"v": 1})
+        blob = open(cache.path_for(key), "rb").read()
+        with open(cache.path_for(key), "wb") as fh:
+            fh.write(b"XXXX0000" + blob[len(ENTRY_MAGIC) :])
+        assert cache.get(key) is None
+
+    def test_unpicklable_entry_is_swallowed(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        assert not cache.put(entry_key("k"), {"fn": lambda: None})
+        assert cache.info().writes == 0
+
+    def test_eviction_drops_least_recently_used(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_entries=2)
+        ka, kb, kc = entry_key("a"), entry_key("b"), entry_key("c")
+        cache.put(ka, {"v": "a"})
+        cache.put(kb, {"v": "b"})
+        # Pin recency explicitly (mtime is the LRU clock): a is oldest.
+        os.utime(cache.path_for(ka), (1000, 1000))
+        os.utime(cache.path_for(kb), (2000, 2000))
+        cache.put(kc, {"v": "c"})
+        assert cache.get(ka) is None  # evicted as LRU
+        assert cache.get(kb) == {"v": "b"}
+        assert cache.get(kc) == {"v": "c"}
+        assert cache.info().evictions == 1
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_entries=2)
+        ka, kb, kc = entry_key("a"), entry_key("b"), entry_key("c")
+        cache.put(ka, {"v": "a"})
+        cache.put(kb, {"v": "b"})
+        os.utime(cache.path_for(ka), (1000, 1000))
+        os.utime(cache.path_for(kb), (2000, 2000))
+        # Touch a: the hit refreshes its mtime, so b becomes the LRU.
+        assert cache.get(ka) is not None
+        cache.put(kc, {"v": "c"})
+        assert cache.get(kb) is None
+        assert cache.get(ka) is not None
+
+    def test_byte_cap_eviction(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes=2048)
+        for i in range(8):
+            cache.put(entry_key(str(i)), {"pad": "x" * 512})
+        info = cache.info()
+        assert info.total_bytes <= 2048
+        assert info.evictions > 0
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        for i in range(3):
+            cache.put(entry_key(str(i)), {"i": i})
+        assert cache.clear() == 3
+        assert cache.info().entries == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrent writer processes
+# ----------------------------------------------------------------------
+
+
+def _hammer_cache(root: str, seed: int, iters: int) -> None:
+    cache = DiskCache(root)
+    for i in range(iters):
+        key = entry_key("shared", str(i % 5))
+        cache.put(key, {"writer": seed, "i": i, "pad": "x" * 512})
+        entry = cache.get(key)
+        # A concurrent writer may have replaced the entry, but a reader
+        # must only ever observe a whole one (or a miss), never garbage.
+        assert entry is None or (
+            isinstance(entry, dict) and len(entry["pad"]) == 512
+        )
+
+
+class TestConcurrentWriters:
+    def test_two_processes_never_corrupt_entries(self, tmp_path):
+        root = str(tmp_path)
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_cache, args=(root, seed, 200))
+            for seed in (1, 2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        # Every surviving entry decodes cleanly; no torn files, no strays.
+        cache = DiskCache(root)
+        for i in range(5):
+            entry = cache.get(entry_key("shared", str(i)))
+            assert isinstance(entry, dict) and entry["writer"] in (1, 2)
+        assert cache.info().corrupt == 0
+        leftovers = [n for n in os.listdir(root) if n.startswith(".tmp-")]
+        assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# The two cache levels composed: Session + DiskCache
+# ----------------------------------------------------------------------
+
+
+def _compile_in_child(cache_dir: str, queue) -> None:
+    bundle = gcn_on_synthetic(nodes=16, density=0.2, seed=0)
+    session = Session(disk_cache=cache_dir)
+    exe, source = session.compile_detailed(
+        bundle.program, bundle.schedule("partial")
+    )
+    result = exe(bundle.binding)
+    queue.put(
+        {
+            "source": source,
+            "cycles": result.metrics.cycles,
+            "err": bundle.max_abs_err(result),
+        }
+    )
+
+
+class TestSessionDiskCache:
+    def test_cross_session_warm_start_is_bit_exact(self, bundle, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = Session(disk_cache=cache_dir)
+        exe1, source1 = cold.compile_detailed(
+            bundle.program, bundle.schedule("partial")
+        )
+        assert source1 == "compiled"
+        assert cold.cache_info().disk_misses == 1
+        result1 = exe1(bundle.binding)
+
+        warm = Session(disk_cache=cache_dir)  # fresh in-memory cache
+        exe2, source2 = warm.compile_detailed(
+            bundle.program, bundle.schedule("partial")
+        )
+        assert source2 == "disk"
+        assert warm.cache_info().disk_hits == 1
+        result2 = exe2(bundle.binding)
+        assert result2.metrics.cycles == result1.metrics.cycles
+        for name, tensor in result1.tensors.items():
+            assert np.array_equal(
+                tensor.to_dense(), result2.tensors[name].to_dense()
+            ), name
+
+    def test_cross_process_warm_start(self, bundle, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        # Child one: cold cache, compiles and writes the entry.
+        p = ctx.Process(target=_compile_in_child, args=(cache_dir, queue))
+        p.start()
+        first = queue.get(timeout=120)
+        p.join(timeout=120)
+        assert p.exitcode == 0 and first["source"] == "compiled"
+        # Child two: a genuinely cold *process* served from disk.
+        p = ctx.Process(target=_compile_in_child, args=(cache_dir, queue))
+        p.start()
+        second = queue.get(timeout=120)
+        p.join(timeout=120)
+        assert p.exitcode == 0 and second["source"] == "disk"
+        assert second["cycles"] == first["cycles"]
+        assert second["err"] < 1e-6
+
+    def test_memory_hit_shadows_disk(self, bundle, tmp_path):
+        session = Session(disk_cache=str(tmp_path / "cache"))
+        schedule = bundle.schedule("unfused")
+        _, first = session.compile_detailed(bundle.program, schedule)
+        _, second = session.compile_detailed(bundle.program, schedule)
+        assert (first, second) == ("compiled", "memory")
+        info = session.cache_info()
+        assert (info.disk_hits, info.disk_misses) == (0, 1)
+        assert "disk 0/1" in str(info)
+
+    def test_env_var_configures_disk_cache(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path / "envcache")
+        monkeypatch.setenv("FUSEFLOW_CACHE_DIR", cache_dir)
+        assert Session().disk_cache is not None
+        assert Session().disk_cache.root == os.path.abspath(cache_dir)
+        # Explicit False wins over the environment.
+        assert Session(disk_cache=False).disk_cache is None
+        monkeypatch.delenv("FUSEFLOW_CACHE_DIR")
+        assert Session().disk_cache is None
+
+    def test_hierarchy_partitions_disk_entries(self, bundle, tmp_path):
+        # Two sessions over one directory but different hierarchies must
+        # not serve each other's entries (the timed engine differs).
+        cache_dir = str(tmp_path / "cache")
+        flat = Session(disk_cache=cache_dir)
+        flat.compile(bundle.program, bundle.schedule("partial"))
+        sram = Session(disk_cache=cache_dir, hierarchy="fpga-small")
+        _, source = sram.compile_detailed(
+            bundle.program, bundle.schedule("partial")
+        )
+        assert source == "compiled"
+
+
+# ----------------------------------------------------------------------
+# Session compile cache under threads (the serve access pattern)
+# ----------------------------------------------------------------------
+
+
+class TestSessionThreadSafety:
+    def test_threaded_compile_hammer(self, bundle):
+        session = Session(cache_size=8)
+        schedules = [
+            bundle.schedule(g) for g in ("unfused", "partial", "full")
+        ]
+        n_threads, iters = 8, 24
+        barrier = threading.Barrier(n_threads)
+        errors = []
+        seen = [dict() for _ in range(n_threads)]
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for i in range(iters):
+                schedule = schedules[(tid + i) % len(schedules)]
+                try:
+                    exe = session.compile(bundle.program, schedule)
+                except Exception as exc:  # pragma: no cover - the regression
+                    errors.append(exc)
+                    return
+                seen[tid].setdefault(schedule.name, set()).add(id(exe))
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert errors == []
+        # Every thread observed the *same* executable per schedule: the
+        # post-compile re-check keeps the cache single-valued even when
+        # several threads compiled the same key simultaneously.
+        merged: dict = {}
+        for per_thread in seen:
+            for name, ids in per_thread.items():
+                merged.setdefault(name, set()).update(ids)
+        assert all(len(ids) == 1 for ids in merged.values()), merged
+        # Counters never tear: every call is exactly one hit or miss.
+        info = session.cache_info()
+        assert info.hits + info.misses == n_threads * iters
+        assert info.entries == len(schedules)

@@ -19,6 +19,7 @@ from repro.core.schedule.autotune import (
     contiguous_partitions,
     enumerate_schedules,
     partition_space_size,
+    reset_truncation_warnings,
 )
 from repro.core.schedule.schedule import Schedule, ScheduleError, unfused
 from repro.core.schedule.split import (
@@ -363,6 +364,7 @@ class TestAutotuneSplits:
         assert partition_space_size(8) == 128
 
     def test_truncation_warns_and_is_deterministic(self):
+        reset_truncation_warnings()
         with pytest.warns(UserWarning, match="kept 5 of 512"):
             kept = contiguous_partitions(10, max_partitions=5)
         assert len(kept) == 5
@@ -370,6 +372,18 @@ class TestAutotuneSplits:
         again = contiguous_partitions(10, max_partitions=5)
         assert kept == again
         assert kept[0] == [list(range(10))]  # fully fused survives the cap
+
+    def test_truncation_warns_once_per_shape(self, recwarn):
+        reset_truncation_warnings()
+        with pytest.warns(UserWarning, match="kept 5 of 512"):
+            contiguous_partitions(10, max_partitions=5)
+        # Identical truncation: silent on repeat (per-process seen-set).
+        recwarn.clear()
+        contiguous_partitions(10, max_partitions=5)
+        assert not [w for w in recwarn if "kept" in str(w.message)]
+        # A *different* truncation still warns.
+        with pytest.warns(UserWarning, match="kept 4 of 512"):
+            contiguous_partitions(10, max_partitions=4)
 
     def test_no_warning_when_exhaustive(self, recwarn):
         contiguous_partitions(4, max_partitions=64)
@@ -390,6 +404,7 @@ class TestAutotuneSplits:
         assert "+split(x1=4)" in schedules[1].name
 
     def test_autotune_surfaces_truncation(self, gcn_bundle):
+        reset_truncation_warnings()
         stats = stats_from_binding(gcn_bundle.binding)
         with pytest.warns(UserWarning, match="kept"):
             tuned = autotune(

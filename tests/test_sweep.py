@@ -371,6 +371,80 @@ class TestRunner:
         assert len(seen) == outcome.ran == 3
 
 
+class TestResumeSpecGuard:
+    def test_spec_fingerprint_stable_and_content_sensitive(self):
+        assert small_spec().fingerprint() == small_spec().fingerprint()
+        assert (
+            small_spec().fingerprint()
+            != small_spec(machines=["rda"]).fingerprint()
+        )
+        # The fingerprint survives a serialization round trip (the resume
+        # check compares a live caller spec against a stored header).
+        restored = SweepSpec.from_record(small_spec().to_record())
+        assert restored.fingerprint() == small_spec().fingerprint()
+
+    def test_spec_required_unless_resuming(self):
+        with pytest.raises(ResultStoreError, match="spec is required"):
+            run_sweep()
+
+    def test_resume_without_spec_uses_stored_header(self, tmp_path):
+        path = str(tmp_path / "res.jsonl")
+        spec = small_spec(models=["sae"], machines=["rda"])  # 3 points
+        run_sweep(spec, store_path=path, workers=1)
+        outcome = run_sweep(store_path=path, workers=1, resume=True)
+        assert outcome.ran == 0 and outcome.skipped == 3
+
+    def test_resume_spec_mismatch_raises_naming_both(self, tmp_path):
+        path = str(tmp_path / "res.jsonl")
+        stored = small_spec(models=["sae"], machines=["rda"])
+        run_sweep(stored, store_path=path, workers=1)
+        other = small_spec(models=["sae"], machines=["fpga"])
+        with pytest.raises(ResultStoreError, match="mismatch") as excinfo:
+            run_sweep(other, store_path=path, workers=1, resume=True)
+        message = str(excinfo.value)
+        assert other.fingerprint()[:16] in message
+        assert stored.fingerprint()[:16] in message
+
+    def test_resume_with_equal_spec_still_works(self, tmp_path):
+        path = str(tmp_path / "res.jsonl")
+        spec = small_spec(models=["sae"], machines=["rda"])
+        run_sweep(spec, store_path=path, workers=1)
+        # A content-equal (but distinct) spec object passes the check.
+        outcome = run_sweep(
+            small_spec(models=["sae"], machines=["rda"]),
+            store_path=path,
+            workers=1,
+            resume=True,
+        )
+        assert outcome.ran == 0 and outcome.skipped == 3
+
+
+class TestSweepDiskCache:
+    def test_cache_dir_populates_and_warm_starts(self, tmp_path):
+        from repro.driver import DiskCache
+        from repro.sweep import set_worker_cache_dir
+        from repro.sweep.runner import _SESSIONS
+
+        cache_dir = str(tmp_path / "cache")
+        spec = small_spec(
+            models=["gcn"], machines=["rda"], schedules=["unfused", "partial"]
+        )
+        try:
+            outcome = run_sweep(spec, workers=1, cache_dir=cache_dir)
+            assert outcome.failed == 0
+            assert DiskCache(cache_dir).info().entries >= 2
+            # A cold process (modeled by dropping the per-process session
+            # cache) warm-starts its compiles from the disk entries.
+            clear_worker_caches()
+            again = run_sweep(spec, workers=1, cache_dir=cache_dir)
+            assert again.failed == 0
+            session = next(iter(_SESSIONS.values()))
+            assert session.cache_info().disk_hits >= 2
+        finally:
+            set_worker_cache_dir(None)
+            clear_worker_caches()
+
+
 class TestScheduleSweep:
     def test_limit_counts_only_successes(self):
         from repro.core.schedule.schedule import Schedule
