@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Deterministic chaos smoke: injected faults, zero lost work.
+
+Two scenarios, both driven by the :mod:`repro.reliability` registry with
+count/fuse triggers only (no probabilistic faults), so this gate replays
+identically instead of flaking:
+
+1. **Sweep**: a multi-worker sweep under two fuse-bounded injected
+   worker crashes plus a one-shot hang.  Asserts the run completes
+   without raising, every point lands a terminal record, zero points are
+   lost (all ``"ok"`` after retries), and a faults-off resume is a
+   no-op.
+2. **Serve**: a request burst against ``fuseflow serve`` running with a
+   tight deadline and ``--max-inflight 1`` while every request hangs.
+   Asserts the admitted request 504s, the overflow sheds as 503 with
+   ``Retry-After`` (never a hung socket or a 500), and SIGTERM drains
+   the process to a clean zero exit.
+
+Run it locally with ``PYTHONPATH=src python scripts/chaos_smoke.py``;
+CI runs it on every build (the "Chaos smoke" step).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sweep.runner import run_sweep  # noqa: E402
+from repro.sweep.spec import SweepSpec  # noqa: E402
+from repro.sweep.store import ResultStore  # noqa: E402
+
+PORT = 8178
+BASE = f"http://127.0.0.1:{PORT}"
+
+
+def sweep_chaos() -> None:
+    spec = SweepSpec(
+        name="chaos-smoke",
+        models=["sae"],
+        schedules=["unfused", "full"],
+        machines=["rda"],
+        model_args={"batch": 1},
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        fuse = os.path.join(tmp, "fuse")
+        store_path = os.path.join(tmp, "chaos.jsonl")
+        # Two worker crashes on the full-fusion point (bounded globally
+        # by the fuse dir, so the third attempt succeeds) plus one hang
+        # on the unfused point, detected by the point timeout.  Disjoint
+        # match filters keep the two failure modes independent, so the
+        # retry count this asserts is exact, not racy.
+        os.environ["FUSEFLOW_FAULTS"] = (
+            f"sweep.point:crash@match=*/full/*,times=2,fuse={fuse};"
+            f"sweep.point:hang:120@match=*unfused*,times=1,fuse={fuse}"
+        )
+        try:
+            outcome = run_sweep(
+                spec=spec,
+                store_path=store_path,
+                workers=2,
+                point_timeout=5.0,
+                max_attempts=4,
+            )
+        finally:
+            del os.environ["FUSEFLOW_FAULTS"]
+        points = spec.points()
+        assert outcome.ran == len(points), outcome.describe()
+        bad = [r for r in outcome.records if r.get("status") != "ok"]
+        assert not bad, [(r["status"], r.get("error")) for r in bad]
+        assert outcome.retries == 3, outcome.retries  # 2 crashes + 1 hang
+        # Faults off: resume over the completed store is a no-op.
+        resumed = run_sweep(store_path=store_path, resume=True, workers=2)
+        assert resumed.ran == 0, resumed.describe()
+        assert resumed.skipped == len(points), resumed.describe()
+        store = ResultStore.open(store_path)
+        try:
+            assert len(store.completed_ids()) == len(points)
+        finally:
+            store.close()
+    print(
+        f"chaos smoke (sweep) ok: {outcome.ran} points survived 2 injected "
+        f"crashes + 1 hang with {outcome.retries} retries, 0 lost; "
+        "resume converged"
+    )
+
+
+def _get(path: str, timeout: float = 30.0):
+    try:
+        with urllib.request.urlopen(BASE + path, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+def _post(path: str, body: dict, timeout: float = 120.0):
+    request = urllib.request.Request(
+        BASE + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+def serve_chaos() -> None:
+    env = dict(os.environ)
+    env["FUSEFLOW_FAULTS"] = "serve.request:hang:30"
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(__file__), "..", "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                str(PORT),
+                "--cache-dir",
+                os.path.join(tmp, "cache"),
+                "--quiet",
+                "--deadline",
+                "2",
+                "--max-inflight",
+                "1",
+                "--drain-timeout",
+                "10",
+            ],
+            env=env,
+        )
+        try:
+            for _ in range(100):
+                try:
+                    status, _, payload = _get("/healthz", timeout=5)
+                    assert (status, payload) == (200, {"status": "ok"})
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            else:
+                raise SystemExit("serve did not come up")
+
+            body = {"model": "sae", "model_args": {"nodes": 12}}
+            results: list = []
+
+            def fire():
+                results.append(_post("/v1/compile", body))
+
+            # One admitted request (hung, will 504 at the 2s deadline)...
+            blocker = threading.Thread(target=fire)
+            blocker.start()
+            deadline = time.time() + 20
+            while time.time() < deadline:
+                _, _, stats = _get("/v1/stats")
+                if stats["active_requests"] >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                raise SystemExit("admitted request never became active")
+            # ...then a burst of two more: both shed immediately as 503.
+            shed = [
+                _post("/v1/compile", {"model": "sae", "model_args": {"nodes": n}})
+                for n in (16, 20)
+            ]
+            for status, headers, payload in shed:
+                assert status == 503, (status, payload)
+                assert headers.get("Retry-After") == "1", headers
+                assert "overloaded" in payload["error"], payload
+            blocker.join(timeout=60)
+            assert results, "admitted request never returned"
+            status, _, payload = results[0]
+            assert status == 504, (status, payload)
+            _, _, stats = _get("/v1/stats")
+            assert stats["shed"] == 2, stats["shed"]
+            assert stats["timeouts"] == 1, stats["timeouts"]
+
+            # SIGTERM: graceful drain to a clean zero exit.
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60)
+            assert code == 0, f"serve exited {code} on SIGTERM"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+    print(
+        "chaos smoke (serve) ok: hung request 504ed at the deadline, "
+        "burst shed as 503 + Retry-After, SIGTERM drained to exit 0"
+    )
+
+
+def main() -> int:
+    sweep_chaos()
+    serve_chaos()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -407,6 +407,8 @@ def cmd_sweep_run(args, resume: bool = False) -> int:
             force=getattr(args, "force", False),
             progress=None if args.quiet else _sweep_progress(),
             cache_dir=getattr(args, "cache_dir", None),
+            point_timeout=getattr(args, "point_timeout", None),
+            max_attempts=getattr(args, "max_attempts", None),
         )
     except Exception as exc:
         raise SystemExit(f"sweep failed: {exc}")
@@ -526,7 +528,15 @@ def cmd_autotune(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the HTTP compile/simulate front end (see docs/serving.md)."""
+    """Run the HTTP compile/simulate front end (see docs/serving.md).
+
+    SIGTERM and SIGINT trigger a graceful drain: stop admitting new
+    requests (503, ``/healthz`` reports ``draining``), let in-flight ones
+    finish up to ``--drain-timeout`` seconds, then exit.
+    """
+    import signal
+    import threading
+
     from .serve import make_server
 
     server = make_server(
@@ -534,16 +544,32 @@ def cmd_serve(args) -> int:
         port=args.port,
         cache_dir=args.cache_dir,
         quiet=args.quiet,
+        deadline=args.deadline,
+        max_inflight=args.max_inflight,
     )
     host, port = server.server_address[:2]
     cache = server.state.disk_cache
     where = cache.root if cache is not None else "none (in-memory only)"
     print(f"fuseflow serve listening on http://{host}:{port}")
     print(f"persistent compile cache: {where}")
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal API
+        # Drain from a helper thread: shutdown() must not be called from
+        # the thread running serve_forever(), and a signal handler runs
+        # on exactly that (main) thread.
+        print(
+            f"\nreceived {signal.Signals(signum).name}; draining "
+            f"(up to {args.drain_timeout:g}s for in-flight requests)"
+        )
+        threading.Thread(
+            target=server.drain, args=(args.drain_timeout,), daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
+        print("drained; shutting down")
     finally:
         server.server_close()
     return 0
@@ -654,6 +680,17 @@ def main(argv: List[str] | None = None) -> int:
     p_sw_run.add_argument("--cache-dir", default=None,
                           help="persistent compile-cache directory shared by "
                                "all workers (default: $FUSEFLOW_CACHE_DIR)")
+    p_sw_run.add_argument("--point-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-point wall-clock timeout; a hung worker "
+                               "is killed and the point retried, then "
+                               "quarantined as a 'timeout' record (parallel "
+                               "runs only; default: none)")
+    p_sw_run.add_argument("--max-attempts", type=int, default=None,
+                          metavar="N",
+                          help="attempts per point before a crashing/hanging/"
+                               "transiently-failing point is quarantined "
+                               "with a terminal record (default: 3)")
     p_sw_run.set_defaults(fn=cmd_sweep_run)
 
     p_sw_resume = sweep_sub.add_parser(
@@ -665,6 +702,12 @@ def main(argv: List[str] | None = None) -> int:
     p_sw_resume.add_argument("--cache-dir", default=None,
                              help="persistent compile-cache directory shared "
                                   "by all workers")
+    p_sw_resume.add_argument("--point-timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-point wall-clock timeout (see sweep run)")
+    p_sw_resume.add_argument("--max-attempts", type=int, default=None,
+                             metavar="N",
+                             help="attempts per point before quarantine")
     p_sw_resume.set_defaults(fn=cmd_sweep_resume)
 
     p_sw_report = sweep_sub.add_parser(
@@ -695,6 +738,22 @@ def main(argv: List[str] | None = None) -> int:
                               "(default: $FUSEFLOW_CACHE_DIR)")
     p_serve.add_argument("--quiet", action="store_true",
                          help="suppress per-request access logs")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-request response deadline; requests not "
+                              "answered in time get HTTP 504 (the compile "
+                              "keeps running and warms the cache; default: "
+                              "no deadline)")
+    p_serve.add_argument("--max-inflight", type=int, default=None,
+                         metavar="N",
+                         help="cap on concurrent POSTs; excess requests are "
+                              "shed with HTTP 503 + Retry-After instead of "
+                              "queueing (default: unbounded)")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="on SIGTERM/SIGINT, wait up to this long for "
+                              "in-flight requests before exiting "
+                              "(default: 10)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_est = sub.add_parser("estimate", help="rank schedules with the heuristic")

@@ -24,6 +24,18 @@ Safety properties, in decreasing order of importance:
   write by evicting the least-recently-used entries (recency = file mtime,
   refreshed on every hit), so a long-lived serve fleet cannot grow the
   directory without bound.
+* **Self-disabling when the disk is sick.**  Repeated consecutive ``put``
+  failures (ENOSPC, a read-only directory, a vanished mount) trip a
+  breaker: the disk level disables itself for the rest of the session —
+  no more serialize+write attempts per compile — and reports why via
+  ``info().disabled_reason`` (surfaced in ``Session.cache_info()`` and
+  the serve front end's ``/v1/stats``).  One successful write resets the
+  consecutive count, so a transient hiccup does not trip it.
+
+Both ``get`` and ``put`` are fault-injection sites (``diskcache.get`` /
+``diskcache.put`` — see :mod:`repro.reliability`): injected failures are
+absorbed exactly like real ones (a failed read is a miss, a failed write
+feeds the breaker), which is how the breaker semantics are tested.
 
 Entries are versioned: :data:`ENTRY_MAGIC` changes whenever the serialized
 form does, so caches written by an incompatible build read as misses
@@ -39,6 +51,8 @@ import tempfile
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
+
+from ..reliability import InjectedFault, fault_point
 
 __all__ = ["DiskCache", "DiskCacheInfo", "ENTRY_MAGIC", "entry_key"]
 
@@ -75,14 +89,19 @@ class DiskCacheInfo:
     evictions: int
     entries: int
     total_bytes: int
+    put_failures: int = 0
+    disabled_reason: Optional[str] = None
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.hits} hit(s), {self.misses} miss(es), "
             f"{self.writes} write(s), {self.corrupt} corrupt, "
             f"{self.evictions} evicted, {self.entries} entr(ies), "
             f"{self.total_bytes} B"
         )
+        if self.disabled_reason:
+            text += f", DISABLED ({self.disabled_reason})"
+        return text
 
 
 class DiskCache:
@@ -97,11 +116,15 @@ class DiskCache:
         Entry-count cap; least-recently-used entries are evicted past it.
     max_bytes:
         Total-size cap in bytes, enforced the same way.
+    put_failure_limit:
+        Consecutive-``put``-failure count that trips the breaker and
+        disables the disk level for this instance's lifetime (a
+        successful write resets the count).
 
     Raises
     ------
     ValueError
-        If either cap is not positive.
+        If either cap or the failure limit is not positive.
     """
 
     def __init__(
@@ -109,14 +132,18 @@ class DiskCache:
         root: str,
         max_entries: int = 1024,
         max_bytes: int = 256 * 1024 * 1024,
+        put_failure_limit: int = 5,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
+        if put_failure_limit < 1:
+            raise ValueError("put_failure_limit must be positive")
         self.root = os.path.abspath(root)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.put_failure_limit = put_failure_limit
         os.makedirs(self.root, exist_ok=True)
         # Guards the counters; file operations are individually atomic and
         # deliberately run outside any lock (other processes share the
@@ -127,6 +154,15 @@ class DiskCache:
         self._writes = 0
         self._corrupt = 0
         self._evictions = 0
+        self._put_failures = 0
+        self._consecutive_put_failures = 0
+        self._disabled_reason: Optional[str] = None
+
+    @property
+    def disabled_reason(self) -> Optional[str]:
+        """Why the breaker disabled this cache, or ``None`` while healthy."""
+        with self._lock:
+            return self._disabled_reason
 
     # ------------------------------------------------------------------
     # Paths
@@ -151,11 +187,21 @@ class DiskCache:
             The mapping passed to :meth:`put` (conventionally
             ``{"compiled": ..., "diagnostics": ..., "meta": ...}``).
         """
+        if self.disabled_reason is not None:
+            with self._lock:
+                self._misses += 1
+            return None
         path = self.path_for(key)
         try:
+            fault_point("diskcache.get", key=key)
             with open(path, "rb") as fh:
                 blob = fh.read()
-        except (FileNotFoundError, IsADirectoryError, PermissionError):
+        except (
+            FileNotFoundError,
+            IsADirectoryError,
+            PermissionError,
+            InjectedFault,
+        ):
             with self._lock:
                 self._misses += 1
             return None
@@ -204,7 +250,15 @@ class DiskCache:
         validates always covers a complete payload.  Serialization
         failures are swallowed: the disk cache is an accelerator, never a
         correctness dependency.
+
+        Write failures (real ENOSPC/EROFS or an injected
+        ``diskcache.put`` fault) feed the consecutive-failure breaker;
+        past ``put_failure_limit`` of them in a row the disk level
+        disables itself so callers stop paying a doomed serialize+write
+        on every compile.
         """
+        if self.disabled_reason is not None:
+            return False
         try:
             payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
@@ -212,6 +266,7 @@ class DiskCache:
         blob = ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
         path = self.path_for(key)
         try:
+            fault_point("diskcache.put", key=key)
             fd, tmp = tempfile.mkstemp(
                 prefix=".tmp-" + key[:8] + "-", dir=self.root
             )
@@ -224,12 +279,29 @@ class DiskCache:
             except BaseException:
                 self._remove(tmp)
                 raise
-        except OSError:
+        except (OSError, InjectedFault) as exc:
+            self._note_put_failure(exc)
             return False
         with self._lock:
             self._writes += 1
+            self._consecutive_put_failures = 0
         self._evict()
         return True
+
+    def _note_put_failure(self, exc: BaseException) -> None:
+        """Count one failed write; trip the breaker past the limit."""
+        with self._lock:
+            self._put_failures += 1
+            self._consecutive_put_failures += 1
+            if (
+                self._disabled_reason is None
+                and self._consecutive_put_failures >= self.put_failure_limit
+            ):
+                self._disabled_reason = (
+                    f"disabled after {self._consecutive_put_failures} "
+                    f"consecutive write failure(s); last: "
+                    f"{type(exc).__name__}: {exc}"
+                )
 
     # ------------------------------------------------------------------
     # Eviction
@@ -292,6 +364,8 @@ class DiskCache:
                 evictions=self._evictions,
                 entries=len(entries),
                 total_bytes=sum(size for _, size, _ in entries),
+                put_failures=self._put_failures,
+                disabled_reason=self._disabled_reason,
             )
 
     def clear(self) -> int:

@@ -27,6 +27,7 @@ from ..comal.machines import Machine, RDA_MACHINE
 from ..core.einsum.ast import EinsumProgram
 from ..core.schedule.schedule import Schedule, unfused
 from ..ftree.tensor import SparseTensor
+from ..reliability import fault_point
 from .compiled import CompiledProgram, ProgramResult
 from .diskcache import DiskCache, entry_key
 from .executable import Executable
@@ -42,6 +43,9 @@ class CacheInfo:
 
     ``disk_hits``/``disk_misses`` count only the in-memory misses that fell
     through to a configured disk cache (0 when the session has none).
+    ``disk_disabled_reason`` reports a disk cache whose write breaker
+    tripped (see :class:`~repro.driver.diskcache.DiskCache`); ``None``
+    while healthy or when no disk cache is configured.
     """
 
     hits: int
@@ -50,6 +54,7 @@ class CacheInfo:
     max_entries: int
     disk_hits: int = 0
     disk_misses: int = 0
+    disk_disabled_reason: Optional[str] = None
 
     def __str__(self) -> str:
         text = (
@@ -58,6 +63,8 @@ class CacheInfo:
         )
         if self.disk_hits or self.disk_misses:
             text += f", disk {self.disk_hits}/{self.disk_hits + self.disk_misses}"
+        if self.disk_disabled_reason:
+            text += f", disk {self.disk_disabled_reason}"
         return text
 
 
@@ -289,6 +296,10 @@ class Session:
                 if resolved == "codegen":
                     self._prewarm_codegen(compiled, diagnostics)
                 return self._wrap(compiled, diagnostics, key), "disk"
+        # Fault site: an injected raise/hang here behaves exactly like a
+        # compiler bug or a pathological schedule — what sweep retries and
+        # serve deadlines are tested against.
+        fault_point("compile", key=key[0])
         start = time.perf_counter()
         regions, decls, diagnostics = self.pipeline.run(program, schedule)
         compiled = CompiledProgram(
@@ -419,6 +430,11 @@ class Session:
                 max_entries=self.cache_size,
                 disk_hits=self._disk_hits,
                 disk_misses=self._disk_misses,
+                disk_disabled_reason=(
+                    self.disk_cache.disabled_reason
+                    if self.disk_cache is not None
+                    else None
+                ),
             )
 
     def clear_cache(self) -> None:

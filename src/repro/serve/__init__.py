@@ -10,7 +10,7 @@ requests are collapsed onto a single compile by
 """
 
 from .app import FuseFlowServer, ServerState, make_server
-from .dedup import SingleFlight
+from .dedup import SingleFlight, WaitTimeout
 from .protocol import ServeError, ServeRequest, parse_request
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "ServerState",
     "make_server",
     "SingleFlight",
+    "WaitTimeout",
     "ServeError",
     "ServeRequest",
     "parse_request",

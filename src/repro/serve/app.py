@@ -14,7 +14,7 @@ the handler threads share:
 
 Endpoints::
 
-    GET  /healthz      liveness
+    GET  /healthz      liveness (503 + ``draining`` once drain begins)
     GET  /v1/stats     request/dedup/cache counters (JSON)
     POST /v1/compile   compile a model point or raw einsum program
     POST /v1/simulate  compile + execute + verify a model point
@@ -22,6 +22,20 @@ Endpoints::
 Every POST response carries ``X-Fuseflow-Cache`` (``memory`` / ``disk`` /
 ``compiled``), ``X-Fuseflow-Deduped`` (this request rode an in-flight
 identical one), and ``X-Fuseflow-Compile-Ms``.
+
+Overload and failure behavior (see ``docs/reliability.md``):
+
+* **Deadlines.**  With a server ``deadline`` (or a per-request
+  ``deadline_ms``, capped by the server's), a request that cannot be
+  answered in time gets a **504**; the underlying compile keeps running
+  and benefits the next caller through the caches.
+* **Load shedding.**  With ``max_inflight`` set, excess concurrent POSTs
+  are refused immediately with a **503** and a ``Retry-After`` header
+  instead of queueing without bound inside the thread pool.
+* **Graceful drain.**  :meth:`FuseFlowServer.drain` (wired to
+  SIGTERM/SIGINT by the CLI) stops admitting new work (503), lets
+  in-flight requests finish up to a timeout, then shuts down; health
+  checks report ``draining`` so balancers stop routing here.
 """
 
 from __future__ import annotations
@@ -40,8 +54,9 @@ from ..core.schedule.schedule import fully_fused, unfused
 from ..driver.diskcache import DiskCache
 from ..driver.session import Session
 from ..models.common import VERIFY_TOLERANCE
+from ..reliability import fault_point
 from ..sweep.spec import build_bundle
-from .dedup import SingleFlight
+from .dedup import SingleFlight, WaitTimeout
 from .protocol import ServeError, ServeRequest, parse_request
 
 __all__ = ["ServerState", "FuseFlowServer", "make_server"]
@@ -57,14 +72,32 @@ class ServerState:
     cache_dir:
         Persistent compile-cache directory every session shares; ``None``
         follows ``FUSEFLOW_CACHE_DIR`` (no disk cache when unset).
+    deadline:
+        Per-request response deadline in seconds; a request not answered
+        in time is a 504.  ``None`` disables deadlines (a per-request
+        ``deadline_ms`` still applies, capped only by itself).
+    max_inflight:
+        Concurrent-POST cap; excess requests are shed with 503 +
+        ``Retry-After``.  ``None`` = unbounded (pre-hardening behavior).
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        deadline: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+    ) -> None:
         if cache_dir is None:
             cache_dir = os.environ.get("FUSEFLOW_CACHE_DIR") or None
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be positive (or None)")
         self.disk_cache: Optional[DiskCache] = (
             DiskCache(cache_dir) if cache_dir else None
         )
+        self.deadline = deadline
+        self.max_inflight = max_inflight
         self.flight = SingleFlight()
         self._lock = threading.Lock()
         self._sessions: Dict[Tuple[str, str, str], Session] = {}
@@ -72,7 +105,59 @@ class ServerState:
         self._requests = 0
         self._compiles = 0
         self._errors = 0
+        self._inflight = 0
+        self._shed = 0
+        self._timeouts = 0
+        self._draining = False
         self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # Admission control / drain lifecycle
+    # ------------------------------------------------------------------
+    def admit(self) -> Optional[str]:
+        """Try to admit one POST; returns a refusal reason or ``None``.
+
+        On ``None`` the caller MUST pair this with :meth:`finish` (the
+        in-flight count is what drain waits on and shedding caps).
+        """
+        with self._lock:
+            if self._draining:
+                return "draining"
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self._shed += 1
+                return "overloaded"
+            self._inflight += 1
+            return None
+
+    def finish(self) -> None:
+        """Release one admitted request."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; in-flight ones run to completion."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def count_timeout(self) -> None:
+        with self._lock:
+            self._timeouts += 1
+
+    def count_error(self) -> None:
+        with self._lock:
+            self._errors += 1
 
     # ------------------------------------------------------------------
     # Shared resources
@@ -115,12 +200,30 @@ class ServerState:
     # ------------------------------------------------------------------
     # Request execution
     # ------------------------------------------------------------------
+    def request_timeout(self, request: ServeRequest) -> Optional[float]:
+        """Effective wait bound: the tighter of server and client deadlines."""
+        bounds = []
+        if self.deadline is not None:
+            bounds.append(self.deadline)
+        if request.deadline_ms is not None:
+            bounds.append(request.deadline_ms / 1000.0)
+        return min(bounds) if bounds else None
+
     def handle(self, request: ServeRequest) -> Tuple[Dict[str, Any], Dict[str, str]]:
-        """Execute one request (deduplicated); returns (payload, headers)."""
+        """Execute one request (deduplicated); returns (payload, headers).
+
+        Raises
+        ------
+        WaitTimeout
+            The request's deadline expired before the (possibly shared)
+            execution finished; the front end maps it to HTTP 504.
+        """
         with self._lock:
             self._requests += 1
         result, deduped = self.flight.run(
-            request.key(), lambda: self._execute(request)
+            request.key(),
+            lambda: self._execute(request),
+            timeout=self.request_timeout(request),
         )
         headers = dict(result["headers"])
         headers["X-Fuseflow-Deduped"] = "1" if deduped else "0"
@@ -128,12 +231,12 @@ class ServerState:
         payload["deduped"] = deduped
         return payload, headers
 
-    def count_error(self) -> None:
-        with self._lock:
-            self._errors += 1
-
     def _execute(self, request: ServeRequest) -> Dict[str, Any]:
         started = time.perf_counter()
+        # Fault site: an injected hang here is a stuck compile/simulate —
+        # exactly what the deadline (504), the single-flight follower
+        # timeout, and load shedding exist to contain.
+        fault_point("serve.request", key=request.key())
         session = self.session_for(
             request.machine, request.hierarchy, request.backend
         )
@@ -210,6 +313,13 @@ class ServerState:
                 "errors": self._errors,
                 "deduped": flight["followers"],
                 "inflight": flight["inflight"],
+                "active_requests": self._inflight,
+                "shed": self._shed,
+                "timeouts": self._timeouts,
+                "wait_timeouts": flight["wait_timeouts"],
+                "draining": self._draining,
+                "deadline_seconds": self.deadline,
+                "max_inflight": self.max_inflight,
                 "uptime_seconds": time.time() - self._started,
                 "sessions": sessions,
             }
@@ -235,7 +345,12 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
-            self._send(200, {"status": "ok"})
+            if self.state.draining:
+                # Non-200 so load balancers / readiness probes stop
+                # routing traffic here while in-flight work finishes.
+                self._send(503, {"status": "draining"})
+            else:
+                self._send(200, {"status": "ok"})
         elif self.path == "/v1/stats":
             self._send(200, self.state.stats())
         else:
@@ -252,21 +367,40 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
             return
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length)
-        try:
-            request = parse_request(raw, action)
-        except ServeError as exc:
-            self.state.count_error()
-            self._send(400, {"error": str(exc)})
+        refusal = self.state.admit()
+        if refusal is not None:
+            # Shed instead of queue: a bounded, explicit 503 with a
+            # retry hint beats an unbounded thread pile-up.
+            self._send(
+                503,
+                {"error": f"server is {refusal}; retry shortly"},
+                {"Retry-After": "1"},
+            )
             return
         try:
-            payload, headers = self.state.handle(request)
-        except Exception as exc:  # compile/simulate failure: a 500, not a crash
-            self.state.count_error()
-            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
-            return
-        self._send(200, payload, headers)
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length)
+            try:
+                request = parse_request(raw, action)
+            except ServeError as exc:
+                self.state.count_error()
+                self._send(400, {"error": str(exc)})
+                return
+            try:
+                payload, headers = self.state.handle(request)
+            except WaitTimeout as exc:
+                # The work is still running and will warm the caches;
+                # only this response missed its deadline.
+                self.state.count_timeout()
+                self._send(504, {"error": str(exc)})
+                return
+            except Exception as exc:  # compile/simulate failure: 500, not a crash
+                self.state.count_error()
+                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+                return
+            self._send(200, payload, headers)
+        finally:
+            self.state.finish()
 
     # ------------------------------------------------------------------
     def _send(
@@ -299,6 +433,26 @@ class FuseFlowServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.state = state
         self.quiet = quiet
+        self._drain_once = threading.Lock()
+
+    def drain(self, timeout: float = 10.0) -> None:
+        """Gracefully drain and stop: refuse new work, finish in-flight.
+
+        Safe to call from a signal-handler thread and idempotent (a
+        second signal while draining is a no-op; the first drain's
+        timeout still bounds shutdown).  After at most ``timeout``
+        seconds the listener stops even if stragglers remain — they run
+        on daemon threads and die with the process.
+        """
+        if not self._drain_once.acquire(blocking=False):
+            return
+        self.state.begin_drain()
+        deadline = time.monotonic() + max(0.0, timeout)
+        while (
+            self.state.inflight_count() > 0 and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        self.shutdown()
 
 
 def make_server(
@@ -306,10 +460,18 @@ def make_server(
     port: int = 8177,
     cache_dir: Optional[str] = None,
     quiet: bool = False,
+    deadline: Optional[float] = None,
+    max_inflight: Optional[int] = None,
 ) -> FuseFlowServer:
     """Build a ready-to-run serve front end (``port=0`` = ephemeral).
 
     The caller owns the lifecycle: ``server.serve_forever()`` to run,
-    ``server.shutdown()`` + ``server.server_close()`` to stop.
+    ``server.drain()`` (or ``server.shutdown()``) + ``server.server_close()``
+    to stop.  ``deadline`` and ``max_inflight`` default to off, which is
+    byte-identical to the pre-hardening server.
     """
-    return FuseFlowServer((host, port), ServerState(cache_dir), quiet=quiet)
+    return FuseFlowServer(
+        (host, port),
+        ServerState(cache_dir, deadline=deadline, max_inflight=max_inflight),
+        quiet=quiet,
+    )

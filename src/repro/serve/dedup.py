@@ -11,15 +11,38 @@ future, so K concurrent identical requests cost exactly one execution.
 Results are intentionally NOT cached here — once the leader finishes, the
 next request for the same key runs again (and then hits the Session /
 disk cache).  Single-flight is a concurrency collapse, not a cache.
+
+Waits are bounded when the caller asks for it: ``run(..., timeout=s)``
+raises :class:`WaitTimeout` after ``s`` seconds instead of stranding the
+thread behind a hung leader.  A timed-out *leader*'s work keeps running
+in a background thread (Python cannot safely preempt it) and still
+resolves the shared future, so followers that arrived with longer
+timeouts — or the next burst — are not poisoned; only the responses that
+exceeded their deadline are abandoned.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import Any, Callable, Dict, Tuple
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Any, Callable, Dict, Optional, Tuple
 
-__all__ = ["SingleFlight"]
+__all__ = ["SingleFlight", "WaitTimeout"]
+
+
+class WaitTimeout(TimeoutError):
+    """A bounded single-flight wait expired before the work finished."""
+
+    def __init__(self, key: str, timeout: float, leader: bool) -> None:
+        role = "leader" if leader else "follower"
+        super().__init__(
+            f"single-flight {role} wait for key {key[:16]}… exceeded "
+            f"{timeout:g}s (the work keeps running in the background)"
+        )
+        self.key = key
+        self.timeout = timeout
+        self.leader = leader
 
 
 class SingleFlight:
@@ -30,9 +53,28 @@ class SingleFlight:
         self._inflight: Dict[str, Future] = {}
         self._leaders = 0
         self._followers = 0
+        self._timeouts = 0
 
-    def run(self, key: str, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+    def run(
+        self,
+        key: str,
+        fn: Callable[[], Any],
+        timeout: Optional[float] = None,
+    ) -> Tuple[Any, bool]:
         """Run ``fn`` once per concurrent burst of ``key``.
+
+        Parameters
+        ----------
+        key:
+            Content key identical work shares.
+        fn:
+            The work; executed by the burst's leader only.
+        timeout:
+            Optional bound, in seconds, on how long this caller waits for
+            the result.  ``None`` (the default) waits forever in the
+            calling thread — byte-identical to the pre-deadline behavior.
+            With a timeout, the leader runs ``fn`` in a daemon thread so
+            its own wait can expire too.
 
         Returns
         -------
@@ -40,6 +82,12 @@ class SingleFlight:
             ``(result, deduped)``: the leader's result and whether this
             caller was a follower (``True`` = it waited instead of
             running).  A leader's exception propagates to every follower.
+
+        Raises
+        ------
+        WaitTimeout
+            The bounded wait expired; the work itself is NOT cancelled
+            and later callers for the key are unaffected.
         """
         with self._lock:
             future = self._inflight.get(key)
@@ -52,24 +100,65 @@ class SingleFlight:
                 self._leaders += 1
                 leader = True
         if not leader:
-            return future.result(), True
+            return self._wait(key, future, timeout, leader=False), True
+        if timeout is None:
+            # Classic path: lead in the calling thread.
+            try:
+                result = fn()
+            except BaseException as exc:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                future.set_exception(exc)
+                raise
+            with self._lock:
+                self._inflight.pop(key, None)
+            future.set_result(result)
+            return result, False
+        # Deadline path: lead in a worker thread so the wait is bounded.
+        threading.Thread(
+            target=self._lead,
+            args=(key, fn, future),
+            name=f"singleflight-{key[:8]}",
+            daemon=True,
+        ).start()
+        return self._wait(key, future, timeout, leader=True), False
+
+    def _lead(self, key: str, fn: Callable[[], Any], future: Future) -> None:
+        """Leader body for deadline-bounded runs (same pop-then-resolve
+        ordering as the inline path, so a finished key is immediately
+        leadable again)."""
         try:
             result = fn()
         except BaseException as exc:
             with self._lock:
                 self._inflight.pop(key, None)
             future.set_exception(exc)
-            raise
+            return
         with self._lock:
             self._inflight.pop(key, None)
         future.set_result(result)
-        return result, False
+
+    def _wait(
+        self,
+        key: str,
+        future: Future,
+        timeout: Optional[float],
+        leader: bool,
+    ) -> Any:
+        try:
+            return future.result(timeout)
+        except FutureTimeout:
+            with self._lock:
+                self._timeouts += 1
+            raise WaitTimeout(key, timeout or 0.0, leader) from None
 
     def stats(self) -> Dict[str, int]:
-        """Counters: leaders (executions), followers (deduped), in flight."""
+        """Counters: leaders (executions), followers (deduped), in flight,
+        and bounded waits that expired."""
         with self._lock:
             return {
                 "leaders": self._leaders,
                 "followers": self._followers,
                 "inflight": len(self._inflight),
+                "wait_timeouts": self._timeouts,
             }

@@ -44,6 +44,7 @@ _ALLOWED_KEYS = frozenset(
         "splits",
         "program",
         "name",
+        "deadline_ms",
     }
 )
 
@@ -70,6 +71,11 @@ class ServeRequest:
     point: Optional[SweepPoint] = None
     program_text: Optional[str] = None
     program_name: str = "program"
+    #: Client-requested response deadline in milliseconds; the server caps
+    #: it at its own ``--deadline``.  Deliberately NOT part of :meth:`key`:
+    #: two requests for the same work with different patience still share
+    #: one execution.
+    deadline_ms: Optional[int] = None
 
     def key(self) -> str:
         """Canonical content key: sha256 over everything the request reads.
@@ -140,6 +146,13 @@ def parse_request(raw: bytes, action: str) -> ServeRequest:
     machine = str(data.get("machine", "rda"))
     hierarchy = str(data.get("hierarchy", "flat"))
     backend = str(data.get("backend", ""))
+    deadline_ms = data.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, int) or isinstance(deadline_ms, bool) \
+                or deadline_ms < 1:
+            raise ServeError(
+                f"'deadline_ms' must be a positive integer, got {deadline_ms!r}"
+            )
 
     if has_model:
         schedule = str(data.get("schedule", "partial"))
@@ -170,6 +183,7 @@ def parse_request(raw: bytes, action: str) -> ServeRequest:
             backend=backend,
             schedule=schedule,
             point=point,
+            deadline_ms=deadline_ms,
         )
 
     # Raw einsum source: compile-only (there is no tensor binding to run).
@@ -215,4 +229,5 @@ def parse_request(raw: bytes, action: str) -> ServeRequest:
         schedule=schedule,
         program_text=text,
         program_name=name,
+        deadline_ms=deadline_ms,
     )

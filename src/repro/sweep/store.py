@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Dict, Iterator, List, Optional, Set
 
 from .spec import SweepSpec
@@ -30,6 +31,9 @@ class ResultStore:
     def __init__(self, path: str) -> None:
         self.path = path
         self._handle = None
+        #: Torn (crash-truncated) trailing lines skipped by reads so far —
+        #: resume tooling surfaces this so silent data loss stays visible.
+        self.torn_tails_skipped = 0
 
     # ------------------------------------------------------------------
     # Creation / opening
@@ -95,7 +99,17 @@ class ResultStore:
                     # line; resume must recover exactly these files, so
                     # treat the torn tail as "that point never finished".
                     # A corrupt *first* line is not a torn tail — the file
-                    # was never a results file.
+                    # was never a results file.  Counted and warned, never
+                    # silent: a kill -9 mid-append should be visible in
+                    # the resume log even though it is fully recovered.
+                    self.torn_tails_skipped += 1
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping torn trailing "
+                        "record (crash mid-append?); the point will be "
+                        "re-run on resume",
+                        UserWarning,
+                        stacklevel=3,
+                    )
                     return
                 raise ResultStoreError(
                     f"{self.path}:{lineno}: corrupt record ({exc})"
