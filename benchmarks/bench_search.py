@@ -1,0 +1,237 @@
+"""Guided-search benchmark: guided vs exhaustive autotuning, all 4 models.
+
+The classic ``autotune`` path *enumerates* the contiguous-partition space
+under ``max_candidates`` and simulates every feasible candidate; the
+guided strategies (``beam``, ``evolutionary``) explore the joint space
+via local moves and spend a fixed simulation *budget*.  This benchmark
+runs both arms on all four evaluation models and asserts the PR's
+headline gate (enforced in CI):
+
+* **Parity**: for every model, each guided strategy's measured winner is
+  within 1% of the exhaustive winner's cycles — and on gpt3, where the
+  enumeration cap drops most of the 2^21-partition space, guided search
+  finds schedules several times *faster* than anything the exhaustive
+  arm can reach.
+* **Efficiency**: each guided arm issues at least 10x fewer simulations
+  than its exhaustive counterpart (budget counts *successful* runs, the
+  same convention as ``sweep_schedules(limit=...)``).
+* **Determinism**: re-running a guided strategy with the same seed
+  reproduces the identical ``search_trace``.
+
+Model sizes are the small-n oracle configurations: big enough that the
+partition space dwarfs the budget, small enough that the exhaustive arm
+(the oracle) finishes in seconds.
+
+Run directly to (re)generate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_search.py --out BENCH_search.json
+
+or via pytest (asserts the acceptance shape)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_search.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.heuristic.model import stats_from_binding
+from repro.core.schedule.autotune import autotune
+from repro.driver import Session
+from repro.models.gcn import gcn_on_synthetic
+from repro.models.gpt3 import build_gpt3
+from repro.models.graphsage import graphsage_on_synthetic
+from repro.models.sae import build_sae
+
+#: Per-model search configuration.  The exhaustive arm runs today's
+#: defaults (``max_candidates=64``) with an unbounded simulate-top so it
+#: measures every feasible enumerated candidate; the guided budget is
+#: sized for a >= 10x simulation reduction against that arm.
+MODELS = {
+    "gcn": {"budget": 6},
+    "graphsage": {"budget": 6},
+    "sae": {"budget": 3},
+    "gpt3": {"budget": 2},
+}
+
+STRATEGIES = ("beam", "evolutionary")
+MAX_CANDIDATES = 64
+SEED = 0
+
+#: Parity gate: guided cycles / exhaustive cycles must not exceed this.
+CYCLES_RATIO_MAX = 1.01
+#: Efficiency gate: exhaustive sims / guided sims must be at least this.
+SIM_RATIO_MIN = 10.0
+
+
+def _bundles():
+    rng = np.random.default_rng(0)
+    return {
+        "gcn": gcn_on_synthetic(nodes=24, density=0.1, seed=0),
+        "graphsage": graphsage_on_synthetic(nodes=20, density=0.15, seed=0),
+        "sae": build_sae(rng.standard_normal((8, 16)), weight_density=0.4, seed=0),
+        "gpt3": build_gpt3(seq_len=16, d_model=8, block=4, n_layers=1),
+    }
+
+
+def run_benchmark() -> Dict[str, object]:
+    rows: List[Dict[str, object]] = []
+    headline: Dict[str, object] = {}
+    for model, bundle in _bundles().items():
+        stats = stats_from_binding(bundle.binding)
+        budget = MODELS[model]["budget"]
+        # One session per model: the guided arms re-use every compile the
+        # exhaustive arm already paid for (and each other's).
+        session = Session(cache_size=1024)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            t0 = time.perf_counter()
+            exhaustive = autotune(
+                bundle.program,
+                bundle.binding,
+                stats,
+                session=session,
+                simulate_top=MAX_CANDIDATES,
+                max_candidates=MAX_CANDIDATES,
+            )
+            exhaustive_seconds = time.perf_counter() - t0
+        rows.append(
+            {
+                "model": model,
+                "strategy": "exhaustive",
+                "winner": exhaustive.best.name,
+                "cycles": exhaustive.measured_cycles,
+                "simulations": exhaustive.evaluations,
+                "candidates_considered": exhaustive.candidates_considered,
+                "partition_space": exhaustive.partition_space,
+                "seconds": round(exhaustive_seconds, 3),
+            }
+        )
+        for strategy in STRATEGIES:
+            t0 = time.perf_counter()
+            tuned = autotune(
+                bundle.program,
+                bundle.binding,
+                stats,
+                session=session,
+                strategy=strategy,
+                budget=budget,
+                seed=SEED,
+            )
+            seconds = time.perf_counter() - t0
+            # Determinism: a fresh session, same seed -> identical trace.
+            rerun = autotune(
+                bundle.program,
+                bundle.binding,
+                stats,
+                session=Session(cache_size=1024),
+                strategy=strategy,
+                budget=budget,
+                seed=SEED,
+            )
+            sim_ratio = exhaustive.evaluations / max(1, tuned.evaluations)
+            cycles_ratio = tuned.measured_cycles / exhaustive.measured_cycles
+            rows.append(
+                {
+                    "model": model,
+                    "strategy": strategy,
+                    "winner": tuned.best.name,
+                    "cycles": tuned.measured_cycles,
+                    "simulations": tuned.evaluations,
+                    "candidates_considered": tuned.candidates_considered,
+                    "sim_ratio": round(sim_ratio, 2),
+                    "cycles_ratio": round(cycles_ratio, 4),
+                    "trace_deterministic": tuned.search_trace
+                    == rerun.search_trace,
+                    "seconds": round(seconds, 3),
+                }
+            )
+            headline[f"{model}_{strategy}_sim_ratio"] = round(sim_ratio, 2)
+            headline[f"{model}_{strategy}_cycles_ratio"] = round(
+                cycles_ratio, 4
+            )
+        headline[f"{model}_exhaustive_sims"] = exhaustive.evaluations
+    return {
+        "name": "search",
+        "machine": "rda",
+        "max_candidates": MAX_CANDIDATES,
+        "seed": SEED,
+        "rows": rows,
+        "headline": headline,
+    }
+
+
+def render(payload: Dict[str, object]) -> str:
+    lines = [
+        f"{'model':10s} {'strategy':13s} {'cycles':>10s} {'sims':>5s} "
+        f"{'simx':>6s} {'cycr':>7s} {'det':>4s}"
+    ]
+    for r in payload["rows"]:
+        lines.append(
+            f"{r['model']:10s} {r['strategy']:13s} {r['cycles']:10.0f} "
+            f"{r['simulations']:5d} {r.get('sim_ratio', '-'):>6} "
+            f"{r.get('cycles_ratio', '-'):>7} "
+            f"{str(r.get('trace_deterministic', '-')):>4s}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (acceptance shape — the CI gate)
+# ----------------------------------------------------------------------
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_benchmark()
+
+
+def test_guided_matches_exhaustive_cycles(payload):
+    """Parity: every guided winner within 1% of the exhaustive winner."""
+    for r in payload["rows"]:
+        if r["strategy"] == "exhaustive":
+            continue
+        assert r["cycles_ratio"] <= CYCLES_RATIO_MAX, (r, render(payload))
+
+
+def test_guided_is_10x_fewer_simulations(payload):
+    """Efficiency: every guided arm simulates >= 10x less."""
+    for r in payload["rows"]:
+        if r["strategy"] == "exhaustive":
+            continue
+        assert r["sim_ratio"] >= SIM_RATIO_MIN, (r, render(payload))
+
+
+def test_seeded_traces_are_deterministic(payload):
+    """Same seed => identical search trace, for every guided arm."""
+    for r in payload["rows"]:
+        if r["strategy"] == "exhaustive":
+            continue
+        assert r["trace_deterministic"], (r, render(payload))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write BENCH json here")
+    args = parser.parse_args(argv)
+    payload = run_benchmark()
+    print(render(payload))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

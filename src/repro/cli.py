@@ -1,12 +1,18 @@
 """Command-line scheduling interface (paper Section 7).
 
-FuseFlow exposes its optimization knobs through a CLI: users pick a model,
-fusion granularity, dataflow ordering, parallelization, and block size, and
-the tool compiles, simulates, and reports cycles/FLOPs/bytes — or ranks
-schedules with the analytical heuristic, or autotunes the fusion
-granularity outright.  All compilation goes through one driver
-:class:`~repro.driver.Session` per invocation, so sweeps and autotuning
-reuse compiled executables instead of re-lowering.
+FuseFlow exposes its optimization knobs through a CLI: users pick a model
+and any of the six schedule axes — fusion granularity, dataflow ordering,
+parallelization, index splitting, mask folding, and the global-iteration
+rewrite — and the tool compiles, simulates, and reports
+cycles/FLOPs/bytes.  Beyond single runs there are three search entry
+points: ``estimate`` ranks schedules with the analytical heuristic,
+``autotune`` enumerates and simulates the fusion × split space, and
+``tune`` runs guided search (``beam``/``evolutionary``/``exhaustive``
+strategies) over the joint space under a simulation budget, optionally
+guided by a cost model calibrated from recorded sweeps.  All compilation
+goes through one driver :class:`~repro.driver.Session` per invocation, so
+sweeps, autotuning, and search steps reuse compiled executables instead
+of re-lowering.
 
 Examples::
 
@@ -25,6 +31,9 @@ Examples::
     fuseflow estimate --model gcn
     fuseflow autotune --model sae --nodes 16
     fuseflow autotune --model gcn --hierarchy fpga-small --split x1=4 --split x1=8
+    fuseflow tune --model gcn --strategy beam --budget 6 --seed 0
+    fuseflow tune --model gpt3 --strategy evolutionary --budget 4 \
+        --calibrate sweep.jsonl --cost-model gpt3-costmodel.json
     fuseflow compile --model sae --fusion full --show-graph --diagnostics
 """
 
@@ -42,6 +51,7 @@ from .comal.machines import MACHINES
 from .core.heuristic.model import stats_from_binding
 from .core.heuristic.prune import rank_schedules
 from .core.schedule.autotune import autotune
+from .core.schedule.search import STRATEGIES as SEARCH_STRATEGIES
 from .driver import Session
 from .models.common import VERIFY_TOLERANCE, ModelBundle
 from .models.gcn import gcn_on_synthetic
@@ -310,7 +320,16 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_sweep_quick(args) -> int:
-    """Single-model fusion-granularity comparison (the original sweep)."""
+    """Single-model fusion-granularity comparison (the original sweep).
+
+    One point per granularity (unfused/partial/full); any ``--split``
+    flags apply to every granularity rather than forming a grid axis.
+    For the full seven-axis grid (model × dataset × schedule × machine ×
+    hierarchy × splits × backend) use ``sweep run``; for guided search
+    over the six schedule knobs — fusion granularity, dataflow order,
+    parallelization, index splitting, mask folding, global rewrite —
+    under a simulation budget, use ``tune``.
+    """
     bundle = _build_model(args)
     session = _session(args)
     schedules = bundle.schedules(("unfused", "partial", "full"))
@@ -510,7 +529,8 @@ def cmd_autotune(args) -> int:
         print(f"truncated  : {tuned.partitions_dropped} of "
               f"{tuned.partition_space} contiguous partitions dropped by "
               f"--max-candidates {args.max_candidates} (kept subset is "
-              "deterministic: fewest boundaries first)")
+              "deterministic, taken from both granularity ends; the "
+              "fully-fused and fully-unfused baselines always survive)")
     for name, cycles in tuned.ranking:
         marker = " <- best" if name == tuned.best.name else ""
         print(f"  {name:20s} {cycles:12.0f} cycles{marker}")
@@ -520,6 +540,91 @@ def cmd_autotune(args) -> int:
     after = session.cache_info()
     served = "cache hit" if after.hits > before.hits else "cache miss"
     print(f"cache      : {after} (winner recompile: {served})")
+    if args.verify:
+        err = bundle.max_abs_err(exe(bundle.binding))
+        print(f"max |err|  : {err:.3e} (vs dense reference)")
+        return 0 if err < VERIFY_TOLERANCE else 1
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Guided search over the joint schedule space (see docs/scheduling.md).
+
+    ``--strategy`` picks a registered search strategy; ``--budget`` caps
+    successful simulations; ``--seed`` makes stochastic strategies
+    reproducible (identical invocations print identical traces).  A cost
+    model calibrated from recorded sweeps steers the search:
+    ``--calibrate`` fits one from a results file / spec and ``--cost-model``
+    loads (or, combined with ``--calibrate``, saves) the JSON artifact.
+    """
+    from .core.heuristic.costmodel import CalibratedCostModel
+
+    bundle = _build_model(args)
+    session = _session(args)
+    stats = stats_from_binding(bundle.binding)
+    split_axis = [_parse_split_config(s) for s in args.split or []]
+    # Each --par flag is one candidate parallelization configuration.
+    par_axis = [_parse_par([p]) for p in args.par or []]
+    cost_model = None
+    if args.calibrate:
+        try:
+            cost_model = CalibratedCostModel().fit_from_store(args.calibrate)
+        except Exception as exc:
+            raise SystemExit(f"calibration failed: {exc}")
+        terms = cost_model.terms.get(args.model) or cost_model.terms.get("*")
+        if terms is not None:
+            print(f"calibrated : {terms.records} record(s) from "
+                  f"{args.calibrate} (rmse {terms.rmse:.3f} vs raw "
+                  f"{terms.raw_rmse:.3f}, log-cycles)")
+        if args.cost_model:
+            cost_model.save(args.cost_model)
+            print(f"cost model : written to {args.cost_model}")
+    elif args.cost_model:
+        try:
+            cost_model = CalibratedCostModel.load(args.cost_model)
+        except Exception as exc:
+            raise SystemExit(f"loading cost model failed: {exc}")
+        print(f"cost model : loaded from {args.cost_model}")
+    try:
+        tuned = autotune(
+            bundle.program,
+            bundle.binding,
+            stats,
+            session=session,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            cost_model=cost_model,
+            model_name=args.model,
+            max_candidates=args.max_candidates,
+            splits=split_axis or None,
+            par_options=par_axis or None,
+        )
+    except (RuntimeError, KeyError) as exc:
+        print(f"tune failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"model      : {bundle.name}")
+    print(f"strategy   : {tuned.strategy} (seed {args.seed})")
+    print(f"evaluated  : {tuned.evaluations} simulation(s) of "
+          f"{tuned.candidates_considered} candidate point(s) "
+          f"(budget {args.budget})")
+    for name, cycles in tuned.ranking:
+        marker = " <- best" if name == tuned.best.name else ""
+        print(f"  {name:28s} {cycles:12.0f} cycles{marker}")
+    print(f"winner     : {tuned.best.name} at {tuned.measured_cycles:.0f} cycles")
+    before = session.cache_info()
+    exe = session.compile(bundle.program, tuned.best)
+    after = session.cache_info()
+    served = "cache hit" if after.hits > before.hits else "cache miss"
+    print(f"cache      : {after} (winner recompile: {served})")
+    if args.trace_out:
+        import json as _json
+
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            _json.dump(tuned.search_trace, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"trace      : {len(tuned.search_trace)} step(s) written to "
+              f"{args.trace_out}")
     if args.verify:
         err = bundle.max_abs_err(exe(bundle.binding))
         print(f"max |err|  : {err:.3e} (vs dense reference)")
@@ -633,7 +738,8 @@ def main(argv: List[str] | None = None) -> int:
 
     p_sw_run = sweep_sub.add_parser(
         "run",
-        help="execute a (model x dataset x schedule x machine x hierarchy) grid",
+        help="execute a (model x dataset x schedule x machine x hierarchy "
+             "x splits x backend) grid",
     )
     p_sw_run.add_argument("--name", default="grid", help="sweep name for reports")
     p_sw_run.add_argument("--spec", help="JSON SweepSpec file (overrides grid flags)")
@@ -722,7 +828,10 @@ def main(argv: List[str] | None = None) -> int:
     p_sw_report.set_defaults(fn=cmd_sweep_report)
 
     p_sw_quick = sweep_sub.add_parser(
-        "quick", help="compare fusion granularities for one model"
+        "quick",
+        help="compare fusion granularities for one model (one point per "
+             "granularity; --split applies to all — see `sweep run` for "
+             "the full grid and `tune` for guided search)",
     )
     _add_model_args(p_sw_quick)
     p_sw_quick.set_defaults(fn=cmd_sweep_quick)
@@ -771,6 +880,44 @@ def main(argv: List[str] | None = None) -> int:
     p_tune.add_argument("--verify", action="store_true",
                         help="run the winner and check against the dense reference")
     p_tune.set_defaults(fn=cmd_autotune)
+
+    p_guided = sub.add_parser(
+        "tune",
+        help="guided schedule search (beam/evolutionary/exhaustive) under "
+             "a simulation budget, optionally cost-model calibrated",
+    )
+    _add_model_args(p_guided)
+    p_guided.add_argument("--strategy", default="beam",
+                          choices=sorted(SEARCH_STRATEGIES),
+                          help="search strategy (default: beam)")
+    p_guided.add_argument("--budget", type=int, default=6,
+                          help="cap on *successful* simulations — infeasible "
+                               "candidates are skipped without consuming it "
+                               "(default: 6)")
+    p_guided.add_argument("--seed", type=int, default=0,
+                          help="search seed; identical invocations produce "
+                               "identical traces (default: 0)")
+    p_guided.add_argument("--cost-model", default=None, metavar="PATH",
+                          help="calibrated cost-model JSON artifact to load "
+                               "(or to write, when combined with "
+                               "--calibrate)")
+    p_guided.add_argument("--calibrate", default=None, metavar="PATH",
+                          help="fit the cost model from a sweep artifact "
+                               "first: a ResultStore JSONL, a SweepSpec "
+                               "JSON (executed in-process), or a BENCH "
+                               "payload with embedded points")
+    p_guided.add_argument("--max-candidates", type=int, default=64,
+                          help="enumeration cap for the exhaustive strategy")
+    p_guided.add_argument("--par", action="append", metavar="INDEX=FACTOR",
+                          help="candidate parallelization configuration; "
+                               "repeatable (each flag is one config the "
+                               "search may toggle)")
+    p_guided.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="write the JSON search trace here")
+    p_guided.add_argument("--verify", action="store_true",
+                          help="run the winner and check against the dense "
+                               "reference")
+    p_guided.set_defaults(fn=cmd_tune)
 
     p_compile = sub.add_parser("compile", help="compile and show graphs/tables")
     _add_model_args(p_compile)

@@ -1,5 +1,14 @@
-"""Analytical fusion heuristic and schedule pruning."""
+"""Analytical fusion heuristic, schedule pruning, and calibrated cost models."""
 
+from .costmodel import (
+    COSTMODEL_VERSION,
+    CalibratedCostModel,
+    CalibrationRecord,
+    CostModel,
+    CostModelError,
+    HeuristicCostModel,
+    calibration_records,
+)
 from .model import FusionHeuristic, HeuristicEstimate, TensorStats, estimate_schedule, stats_from_binding
 from .prune import RankedSchedule, prune_schedules, rank_schedules, roofline_score
 
@@ -13,4 +22,11 @@ __all__ = [
     "prune_schedules",
     "RankedSchedule",
     "roofline_score",
+    "CostModel",
+    "CostModelError",
+    "HeuristicCostModel",
+    "CalibratedCostModel",
+    "CalibrationRecord",
+    "calibration_records",
+    "COSTMODEL_VERSION",
 ]

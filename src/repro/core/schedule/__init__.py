@@ -8,6 +8,17 @@ from .autotune import (
     partition_space_size,
 )
 from .par import apply_parallelization, parallelized_levels
+from .search import (
+    STRATEGIES,
+    Evaluator,
+    SearchPoint,
+    SearchResult,
+    SearchSpace,
+    SearchStrategy,
+    SearchTask,
+    get_strategy,
+    register_strategy,
+)
 from .schedule import (
     Schedule,
     ScheduleError,
@@ -45,4 +56,13 @@ __all__ = [
     "intermediate_row_splits",
     "is_tile_index",
     "validate_split_item",
+    "STRATEGIES",
+    "SearchPoint",
+    "SearchSpace",
+    "SearchTask",
+    "SearchResult",
+    "SearchStrategy",
+    "Evaluator",
+    "get_strategy",
+    "register_strategy",
 ]

@@ -47,11 +47,18 @@ class TunedSchedule:
     executable: Optional[Executable] = None
     # Size of the full contiguous-partition space (2^(n-1)) and how many
     # of those partitions the enumeration cap dropped.  Non-zero drops mean
-    # the search was bounded — the kept subset is deterministic (fewest
-    # region boundaries first, then lexicographic cut positions), but the
-    # winner is only best *within* it.
+    # the search was bounded — the kept subset is deterministic (balanced
+    # boundary-count layers from both granularity ends, lexicographic cut
+    # positions within a layer), but the winner is only best *within* it.
     partition_space: int = 0
     partitions_dropped: int = 0
+    # Which ``SearchStrategy`` produced this result ("exhaustive" is the
+    # classic enumerate-rank-simulate path), how many simulations the
+    # search actually spent, and the step-by-step trace of every evaluated
+    # schedule (JSON-safe dicts; identical across runs for a fixed seed).
+    strategy: str = "exhaustive"
+    evaluations: int = 0
+    search_trace: List[Dict[str, object]] = field(default_factory=list)
 
 
 def partition_space_size(n: int) -> int:
@@ -80,19 +87,31 @@ def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[i
     statements.  The cap keeps enumeration tractable for big models.
 
     The kept subset under the cap is deterministic and documented:
-    partitions are enumerated with the fewest region boundaries first
-    (coarsest fusion), ties broken by lexicographic cut positions — so the
-    cap always keeps the fully fused partition and the coarsest
-    granularities, and repeated runs see the identical candidate set.
-    Truncation is *surfaced*, not silent: a :class:`UserWarning` is emitted
-    here, and :func:`autotune` reports the drop count in
+    partitions are enumerated by boundary-count layers taken alternately
+    from the two ends of the granularity spectrum — fully fused (0
+    boundaries) first, fully unfused (n-1 boundaries) second, then 1
+    boundary, n-2 boundaries, and so on inward — with lexicographic cut
+    positions inside each layer.  Any cap >= 2 therefore keeps *both*
+    baseline schedules; a one-ended order (the pre-balanced behaviour,
+    coarsest first) silently dropped the unfused fallback exactly on the
+    programs where coarse fusion is infeasible, e.g. when
+    ``enumerate_schedules`` divides ``max_candidates`` across a split
+    axis.  Truncation is *surfaced*, not silent: a :class:`UserWarning`
+    is emitted here, and :func:`autotune` reports the drop count in
     :attr:`TunedSchedule.partitions_dropped`.
     """
     partitions: List[List[List[int]]] = []
     boundaries = list(range(1, n))
     truncated = False
-    # Enumerate by number of boundaries, fewest first (coarsest fusion).
-    for k in range(0, n):
+    # Boundary-count layers, alternating coarse/fine ends: 0, n-1, 1, n-2…
+    layers: List[int] = []
+    lo, hi = 0, n - 1
+    while lo <= hi:
+        layers.append(lo)
+        if hi != lo:
+            layers.append(hi)
+        lo, hi = lo + 1, hi - 1
+    for k in layers:
         for cut in itertools.combinations(boundaries, k):
             edges = [0, *cut, n]
             partitions.append(
@@ -115,7 +134,9 @@ def contiguous_partitions(n: int, max_partitions: int = 256) -> List[List[List[i
             f"partitions (enumeration cap {max_partitions} — from "
             "max_candidates split across the split axis when called via "
             "enumerate_schedules/autotune); the kept subset is "
-            "deterministic (fewest boundaries first, lexicographic cuts) "
+            "deterministic (boundary-count layers taken alternately from "
+            "the coarse and fine ends, lexicographic cuts — both the "
+            "fully-fused and fully-unfused baselines always survive) "
             "but the schedule space is no longer exhaustive",
             stacklevel=2,
         )
@@ -238,8 +259,14 @@ def autotune(
     max_candidates: int = 64,
     session: Session | None = None,
     splits: Optional[Sequence[Mapping[str, int]]] = None,
+    strategy: str = "exhaustive",
+    budget: Optional[int] = None,
+    cost_model: Optional[object] = None,
+    seed: int = 0,
+    par_options: Optional[Sequence[Mapping[str, int]]] = None,
+    model_name: Optional[str] = None,
 ) -> TunedSchedule:
-    """Pick the best schedule via heuristic pruning + simulation.
+    """Pick the best schedule via guided search + simulation.
 
     Candidate schedules that fail to compile (infeasible streaming under the
     POG) are skipped — an unfused boundary always exists as a fallback.
@@ -248,34 +275,94 @@ def autotune(
     every simulated candidate lands in the session's compile cache, so the
     returned winner's :attr:`TunedSchedule.executable` — and any later
     ``session.compile`` of the tuned schedule — costs no further lowering.
+    Guided strategies revisit points across search steps; revisits are
+    compile-cache hits, not recompiles.
 
-    ``splits`` adds a bounded index-splitting axis to the enumeration
-    (ignored when explicit ``candidates`` are given): each fusion partition
-    is paired with every split configuration, so under a memory-hierarchy
-    session the tuner co-optimizes tiling against fusion granularity.  The
-    analytical heuristic does not model tiling, so split variants of a
-    partition tie on their estimate and the simulate-top-k stage is what
-    separates them — raise ``simulate_top`` accordingly when sweeping
-    splits.
+    ``strategy`` picks a registered
+    :class:`~repro.core.schedule.search.SearchStrategy`: ``"exhaustive"``
+    (enumerate → rank → simulate top-k; the classic path), ``"beam"``, or
+    ``"evolutionary"`` (local-move search guided by ``cost_model``).
+    ``budget`` caps *successful* simulations — the same convention as
+    ``sweep_schedules(limit=...)``; it defaults to ``simulate_top``.
+    ``cost_model`` is any
+    :class:`~repro.core.heuristic.costmodel.CostModel` (default: the raw
+    analytical heuristic; pass a fitted
+    :class:`~repro.core.heuristic.costmodel.CalibratedCostModel` to rank
+    with per-model corrections).  ``seed`` makes stochastic strategies
+    reproducible: identical invocations produce identical
+    :attr:`TunedSchedule.search_trace` lists.
+
+    ``splits`` adds a bounded index-splitting axis (ignored when explicit
+    ``candidates`` are given) and ``par_options`` a parallelization axis
+    (guided strategies only): the search co-optimizes both against fusion
+    granularity.  The analytical heuristic does not model tiling, so split
+    variants of a partition tie on their estimate and the simulation stage
+    is what separates them — raise ``simulate_top``/``budget`` accordingly
+    when sweeping splits.
 
     Enumeration truncation is surfaced, never silent: when the
     ``max_candidates`` cap drops contiguous partitions, the drop count
     lands in :attr:`TunedSchedule.partitions_dropped` (and
-    ``contiguous_partitions`` warns); the kept subset is deterministic.
+    ``contiguous_partitions`` warns); the kept subset is deterministic and
+    always retains the fully-fused and fully-unfused baselines.
     """
     if session is None:
         session = Session(machine=machine or RDA_MACHINE)
     machine = machine or session.machine
-    partition_space = 0
-    partitions_dropped = 0
     if candidates:
-        candidates = list(candidates)
-    else:
-        candidates = enumerate_schedules(program, max_candidates, splits=splits)
-        partition_space = partition_space_size(len(program.statements))
-        _, _, partitions_dropped = _enumeration_plan(
-            len(program.statements), max_candidates, splits
+        # Explicit candidate lists bypass the search space: rank and
+        # simulate exactly what the caller supplied (legacy path).
+        return _tune_candidates(
+            program, binding, stats, list(candidates), machine,
+            simulate_top if budget is None else budget, session,
         )
+    # Lazy import: search imports this module for the exhaustive strategy.
+    from ..heuristic.costmodel import HeuristicCostModel
+    from .search import SearchTask, get_strategy
+
+    runner = get_strategy(strategy)
+    task = SearchTask(
+        program=program,
+        binding=binding,
+        stats=stats,
+        machine=machine,
+        session=session,
+        cost_model=cost_model or HeuristicCostModel(),
+        budget=simulate_top if budget is None else budget,
+        seed=seed,
+        model_name=model_name,
+        splits=splits,
+        par_options=par_options,
+        max_candidates=max_candidates,
+    )
+    outcome = runner.run(task)
+    winner = session.compile(program, outcome.best)  # cache hit
+    winner = _rebind(winner, machine)
+    return TunedSchedule(
+        best=outcome.best,
+        measured_cycles=outcome.measured_cycles,
+        candidates_considered=outcome.candidates_considered,
+        candidates_simulated=outcome.evaluations,
+        ranking=outcome.ranking,
+        executable=winner,
+        partition_space=outcome.partition_space,
+        partitions_dropped=outcome.partitions_dropped,
+        strategy=runner.name,
+        evaluations=outcome.evaluations,
+        search_trace=outcome.trace,
+    )
+
+
+def _tune_candidates(
+    program: EinsumProgram,
+    binding: Dict[str, object],
+    stats: Dict[str, TensorStats],
+    candidates: List[Schedule],
+    machine: Machine,
+    simulate_top: int,
+    session: Session,
+) -> TunedSchedule:
+    """Rank and simulate an explicit candidate list (pre-search semantics)."""
     heuristic = FusionHeuristic(program, stats)
     scored: List[Tuple[float, Schedule]] = []
     for schedule in candidates:
@@ -308,21 +395,7 @@ def autotune(
             best_schedule = run.schedule
     if best_schedule is None:
         raise RuntimeError("no candidate schedule could be compiled and run")
-    winner = session.compile(program, best_schedule)  # cache hit
-    if winner.machine is not machine:
-        # Bind the returned handle to the machine the tuning measured on
-        # (the caller may have paired an explicit machine with a session
-        # built for a different one); shares the cached compile artifacts.
-        winner = Executable(
-            winner.compiled,
-            machine,
-            winner.diagnostics,
-            winner.fingerprint,
-            columnar=winner.columnar,
-            debug_streams=winner.debug_streams,
-            sim_cache=winner.sim_cache,
-            backend=winner.backend,
-        )
+    winner = _rebind(session.compile(program, best_schedule), machine)
     return TunedSchedule(
         best=best_schedule,
         measured_cycles=best_cycles,
@@ -330,6 +403,27 @@ def autotune(
         candidates_simulated=simulated,
         ranking=ranking,
         executable=winner,
-        partition_space=partition_space,
-        partitions_dropped=partitions_dropped,
+        strategy="exhaustive",
+        evaluations=simulated,
+    )
+
+
+def _rebind(winner: Executable, machine: Machine) -> Executable:
+    """Bind a cached executable to the machine the tuning measured on.
+
+    The caller may have paired an explicit machine with a session built
+    for a different one; the rebound handle shares the cached compile
+    artifacts.
+    """
+    if winner.machine is machine:
+        return winner
+    return Executable(
+        winner.compiled,
+        machine,
+        winner.diagnostics,
+        winner.fingerprint,
+        columnar=winner.columnar,
+        debug_streams=winner.debug_streams,
+        sim_cache=winner.sim_cache,
+        backend=winner.backend,
     )

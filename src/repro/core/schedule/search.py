@@ -1,0 +1,652 @@
+"""Guided search over the joint schedule space (ROADMAP: "Search, not
+enumeration").
+
+The contiguous-partition space alone is 2^(n-1); crossed with loop
+orders, parallelization, and index splits it reaches 10^4–10^6 points for
+the evaluation models, far past what :func:`~.autotune.enumerate_schedules`
+can materialize under its candidate cap.  This module replaces grid
+materialization with *local-move* search, in the spirit of
+transformation-driven exploration (DaCe's ``SingleStateTransformation``
+idiom): a schedule is a :class:`SearchPoint` — region cuts, per-region
+order choice, split-config index, par-config index — and its neighbors
+are the five elementary moves:
+
+* **merge** two adjacent regions (remove a cut),
+* **split** a region at a statement boundary (add a cut),
+* **reorder** a region's dataflow (step its valid-order choice),
+* **bump** the split configuration,
+* **toggle** the parallelization configuration.
+
+Strategies live behind the :data:`STRATEGIES` registry:
+
+* ``exhaustive`` — the classic enumerate → cost-model rank → simulate
+  top-k path (today's :func:`~.autotune.autotune` semantics, bitwise);
+* ``beam`` — cost-model-guided beam search over local moves, then
+  simulate the ``budget`` best predicted points;
+* ``evolutionary`` — seeded mutation/selection over points
+  (``numpy.random.default_rng``), same simulate-top-budget finish.
+
+Everything is deterministic for a fixed seed: neighbor generation is
+ordered, ties break on the point key, and randomness comes only from the
+seeded generator — identical invocations produce identical
+``search_trace`` lists.  Simulation budget counts *successful* runs, the
+same convention as ``sweep_schedules(limit=...)``: an infeasible
+candidate is skipped without consuming budget.  All compilation goes
+through one :class:`~repro.driver.session.Session`, so revisited points
+and the final winner are compile-cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...comal.machines import Machine
+from ...driver.session import Session
+from ..einsum.ast import EinsumProgram
+from ..fusion.fuse import fuse_region
+from ..heuristic.costmodel import CostModel, HeuristicCostModel
+from ..heuristic.model import TensorStats
+from .schedule import Schedule
+
+#: Registered search strategies (name -> factory returning a runner).
+STRATEGIES: Dict[str, Callable[[], "SearchStrategy"]] = {}
+
+
+def register_strategy(name: str):
+    """Class decorator adding a strategy to :data:`STRATEGIES`."""
+
+    def wrap(cls):
+        cls.name = name
+        STRATEGIES[name] = cls
+        return cls
+
+    return wrap
+
+
+def get_strategy(name: str) -> "SearchStrategy":
+    """Instantiate a registered strategy; unknown names list the options."""
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown search strategy {name!r}; registered: "
+            f"{', '.join(sorted(STRATEGIES))}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    """One point of the joint schedule space, as move-friendly coordinates.
+
+    ``cuts`` are the region boundaries (positions in ``1..n-1``, sorted);
+    ``order_choice`` picks one valid dataflow order per region;
+    ``split_idx``/``par_idx`` index the task's split/par configuration
+    lists (entry 0 is always the empty baseline config).
+    """
+
+    cuts: Tuple[int, ...]
+    order_choice: Tuple[int, ...]
+    split_idx: int = 0
+    par_idx: int = 0
+
+    @property
+    def key(self) -> Tuple:
+        return (self.cuts, self.order_choice, self.split_idx, self.par_idx)
+
+
+class SearchSpace:
+    """Neighbor generation and point→schedule materialization."""
+
+    def __init__(
+        self,
+        program: EinsumProgram,
+        split_configs: Optional[Sequence[Mapping[str, int]]] = None,
+        par_configs: Optional[Sequence[Mapping[str, int]]] = None,
+        order_limit: int = 2,
+    ) -> None:
+        self.program = program
+        self.n = len(program.statements)
+        self.split_configs: List[Dict[str, int]] = [{}]
+        for config in split_configs or ():
+            frozen = {k: v for k, v in config.items() if v > 1}
+            if frozen and frozen not in self.split_configs:
+                self.split_configs.append(frozen)
+        self.par_configs: List[Dict[str, int]] = [{}]
+        for config in par_configs or ():
+            frozen = {k: v for k, v in config.items() if v > 1}
+            if frozen and frozen not in self.par_configs:
+                self.par_configs.append(frozen)
+        self.order_limit = order_limit
+        self._orders: Dict[Tuple[int, ...], List[Optional[List[str]]]] = {}
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def regions_from_cuts(self, cuts: Sequence[int]) -> List[List[int]]:
+        edges = [0, *sorted(cuts), self.n]
+        return [list(range(a, b)) for a, b in zip(edges, edges[1:])]
+
+    def seeds(self) -> List[SearchPoint]:
+        """The two always-feasible anchors: fully fused and fully unfused."""
+        fused = SearchPoint(cuts=(), order_choice=(0,))
+        unfused = SearchPoint(
+            cuts=tuple(range(1, self.n)), order_choice=(0,) * self.n
+        )
+        return [fused, unfused] if self.n > 1 else [fused]
+
+    def region_orders(self, region: Sequence[int]) -> List[Optional[List[str]]]:
+        """Valid dataflow orders for one region; entry 0 = default order.
+
+        ``None`` means "let the compiler pick" — always present so every
+        region has at least one choice even when order enumeration fails
+        (infeasible fusions surface at compile time, not here).
+        """
+        key = tuple(region)
+        cached = self._orders.get(key)
+        if cached is None:
+            cached = [None]
+            if self.order_limit > 1:
+                try:
+                    fused = fuse_region(
+                        self.program, list(key), name="search-orders"
+                    )
+                    # The compiler's default pick is already choice 0;
+                    # re-listing it would burn simulation budget on a
+                    # byte-identical compile.
+                    default = fused.first_order()
+                    for order in fused.valid_orders(limit=self.order_limit):
+                        order = list(order)
+                        if order != default and order not in cached[1:]:
+                            cached.append(order)
+                except Exception:
+                    pass
+            self._orders[key] = cached
+        return cached
+
+    def schedule_for(self, point: SearchPoint) -> Schedule:
+        """Materialize the point as a validated, uniquely-named schedule."""
+        regions = self.regions_from_cuts(point.cuts)
+        name_bits = ["search", "c" + "-".join(map(str, point.cuts)) or "c"]
+        if any(point.order_choice):
+            name_bits.append("o" + "".join(map(str, point.order_choice)))
+        if point.split_idx:
+            name_bits.append(f"s{point.split_idx}")
+        if point.par_idx:
+            name_bits.append(f"p{point.par_idx}")
+        schedule = Schedule(name="/".join(name_bits), regions=regions)
+        for pos, (region, choice) in enumerate(
+            zip(regions, point.order_choice)
+        ):
+            if choice:
+                orders = self.region_orders(region)
+                order = orders[min(choice, len(orders) - 1)]
+                if order is not None:
+                    schedule.orders[pos] = list(order)
+        schedule.splits = dict(self.split_configs[point.split_idx])
+        schedule.par = dict(self.par_configs[point.par_idx])
+        schedule.validate(self.program)
+        return schedule
+
+    # ------------------------------------------------------------------
+    # Local moves
+    # ------------------------------------------------------------------
+    def neighbors(self, point: SearchPoint) -> List[Tuple[str, SearchPoint]]:
+        """Deterministically-ordered (move, point) pairs one move away."""
+        out: List[Tuple[str, SearchPoint]] = []
+        cuts = point.cuts
+        # Fusion moves re-base order choices to the default (region
+        # membership changed; stale per-region choices would be
+        # meaningless and nondeterministic).
+        for cut in cuts:  # merge two adjacent regions
+            new_cuts = tuple(c for c in cuts if c != cut)
+            out.append(
+                (
+                    "merge",
+                    SearchPoint(
+                        cuts=new_cuts,
+                        order_choice=(0,) * (len(new_cuts) + 1),
+                        split_idx=point.split_idx,
+                        par_idx=point.par_idx,
+                    ),
+                )
+            )
+        present = set(cuts)
+        for cut in range(1, self.n):  # split a region at a boundary
+            if cut in present:
+                continue
+            new_cuts = tuple(sorted((*cuts, cut)))
+            out.append(
+                (
+                    "split-region",
+                    SearchPoint(
+                        cuts=new_cuts,
+                        order_choice=(0,) * (len(new_cuts) + 1),
+                        split_idx=point.split_idx,
+                        par_idx=point.par_idx,
+                    ),
+                )
+            )
+        regions = self.regions_from_cuts(cuts)
+        for pos, region in enumerate(regions):  # step a region's order
+            n_orders = len(self.region_orders(region))
+            if n_orders <= 1:
+                continue
+            for step in (1, -1):
+                choice = (point.order_choice[pos] + step) % n_orders
+                if choice == point.order_choice[pos]:
+                    continue
+                new_choice = (
+                    *point.order_choice[:pos],
+                    choice,
+                    *point.order_choice[pos + 1:],
+                )
+                out.append(
+                    (
+                        "swap-order",
+                        SearchPoint(
+                            cuts=cuts,
+                            order_choice=new_choice,
+                            split_idx=point.split_idx,
+                            par_idx=point.par_idx,
+                        ),
+                    )
+                )
+        for step in (1, -1):  # bump the split configuration
+            idx = point.split_idx + step
+            if 0 <= idx < len(self.split_configs):
+                out.append(
+                    (
+                        "bump-split",
+                        SearchPoint(
+                            cuts=cuts,
+                            order_choice=point.order_choice,
+                            split_idx=idx,
+                            par_idx=point.par_idx,
+                        ),
+                    )
+                )
+        for step in (1, -1):  # toggle the parallelization configuration
+            idx = point.par_idx + step
+            if 0 <= idx < len(self.par_configs):
+                out.append(
+                    (
+                        "toggle-par",
+                        SearchPoint(
+                            cuts=cuts,
+                            order_choice=point.order_choice,
+                            split_idx=point.split_idx,
+                            par_idx=idx,
+                        ),
+                    )
+                )
+        return out
+
+
+@dataclass
+class SearchTask:
+    """Everything a strategy needs to run one search."""
+
+    program: EinsumProgram
+    binding: Dict[str, object]
+    stats: Mapping[str, TensorStats]
+    machine: Machine
+    session: Session
+    cost_model: CostModel
+    budget: int
+    seed: int = 0
+    model_name: Optional[str] = None
+    splits: Optional[Sequence[Mapping[str, int]]] = None
+    par_options: Optional[Sequence[Mapping[str, int]]] = None
+    max_candidates: int = 64
+    order_limit: int = 2
+    beam_width: int = 4
+    generations: Optional[int] = None
+    population: int = 16
+
+
+@dataclass
+class SearchResult:
+    """A strategy's outcome, consumed by :func:`~.autotune.autotune`."""
+
+    best: Schedule
+    measured_cycles: float
+    candidates_considered: int
+    evaluations: int
+    ranking: List[Tuple[str, float]]
+    trace: List[Dict[str, object]]
+    partition_space: int = 0
+    partitions_dropped: int = 0
+
+
+class Evaluator:
+    """Simulation bookkeeping shared by the guided strategies.
+
+    Deduplicates by schedule content fingerprint, counts only successful
+    simulations against the budget, and appends one JSON-safe trace entry
+    per *attempted* evaluation (failures included, so a trace replays the
+    search exactly).
+    """
+
+    def __init__(self, task: SearchTask, space: SearchSpace) -> None:
+        self.task = task
+        self.space = space
+        self.trace: List[Dict[str, object]] = []
+        self.ranking: List[Tuple[str, float]] = []
+        self.evaluations = 0
+        self.best: Optional[Schedule] = None
+        self.best_cycles = float("inf")
+        self._measured: Dict[str, Optional[float]] = {}
+
+    def exhausted(self) -> bool:
+        return self.evaluations >= self.task.budget
+
+    def predict(self, schedule: Schedule) -> float:
+        return self.task.cost_model.predict(
+            self.task.program,
+            schedule,
+            self.task.stats,
+            self.task.machine,
+            model_name=self.task.model_name,
+        )
+
+    def measure(
+        self, point: SearchPoint, move: str, predicted: float
+    ) -> Optional[float]:
+        """Simulate one point; returns cycles or ``None`` on failure."""
+        if self.exhausted():
+            return None
+        schedule = self.space.schedule_for(point)
+        fingerprint = schedule.fingerprint()
+        if fingerprint in self._measured:  # revisit: free, not re-traced
+            return self._measured[fingerprint]
+        entry: Dict[str, object] = {
+            "step": len(self.trace),
+            "move": move,
+            "schedule": schedule.name,
+            "regions": [list(r) for r in schedule.regions],
+            "splits": dict(schedule.splits),
+            "par": dict(schedule.par),
+            "predicted": float(predicted),
+        }
+        try:
+            result = self.task.session.run(
+                self.task.program,
+                self.task.binding,
+                schedule,
+                machine=self.task.machine,
+            )
+            cycles = float(result.metrics.cycles)
+        except Exception as exc:
+            self._measured[fingerprint] = None
+            entry["status"] = "error"
+            entry["error"] = type(exc).__name__
+            self.trace.append(entry)
+            return None
+        self._measured[fingerprint] = cycles
+        self.evaluations += 1
+        entry["status"] = "ok"
+        entry["cycles"] = cycles
+        self.trace.append(entry)
+        self.ranking.append((schedule.name, cycles))
+        if cycles < self.best_cycles:
+            self.best_cycles = cycles
+            self.best = schedule
+        return cycles
+
+
+class SearchStrategy:
+    """Base class; subclasses implement :meth:`run`."""
+
+    name = "base"
+
+    def run(self, task: SearchTask) -> SearchResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _finish(task: SearchTask, space: SearchSpace, ev: Evaluator) -> SearchResult:
+    if ev.best is None:
+        raise RuntimeError(
+            "no candidate schedule could be compiled and run within the "
+            f"budget of {task.budget} simulation(s)"
+        )
+    from .autotune import partition_space_size
+
+    return SearchResult(
+        best=ev.best,
+        measured_cycles=ev.best_cycles,
+        candidates_considered=len(ev.trace),
+        evaluations=ev.evaluations,
+        ranking=ev.ranking,
+        trace=ev.trace,
+        partition_space=partition_space_size(space.n),
+        partitions_dropped=0,
+    )
+
+
+def _simulate_pool(
+    task: SearchTask,
+    space: SearchSpace,
+    ev: Evaluator,
+    pool: Dict[Tuple, Tuple[float, str, SearchPoint]],
+) -> None:
+    """Spend the budget on the pool's best predicted points, in order."""
+    ordered = sorted(pool.values(), key=lambda item: (item[0], item[2].key))
+    for predicted, move, point in ordered:
+        if ev.exhausted():
+            break
+        ev.measure(point, move, predicted)
+
+
+def _explore(
+    task: SearchTask,
+    space: SearchSpace,
+    ev: Evaluator,
+    frontier: List[Tuple[SearchPoint, str]],
+    select: Callable[
+        [Dict[Tuple, Tuple[float, str, SearchPoint]], int],
+        List[Tuple[SearchPoint, str]],
+    ],
+    rounds: int,
+    width: int,
+) -> Dict[Tuple, Tuple[float, str, SearchPoint]]:
+    """Shared explore loop: expand → score (cheap) → select next frontier."""
+    pool: Dict[Tuple, Tuple[float, str, SearchPoint]] = {}
+
+    def score(point: SearchPoint, move: str) -> None:
+        if point.key in pool:
+            return
+        try:
+            predicted = ev.predict(space.schedule_for(point))
+        except Exception:
+            return  # heuristic can't cost it; unreachable by this search
+        pool[point.key] = (predicted, move, point)
+
+    for point, move in frontier:
+        score(point, move)
+    for _ in range(rounds):
+        expanded = False
+        for point, _ in frontier:
+            for move, neighbor in space.neighbors(point):
+                if neighbor.key not in pool:
+                    expanded = True
+                score(neighbor, move)
+        if not expanded:
+            break
+        frontier = select(pool, width)
+    return pool
+
+
+@register_strategy("exhaustive")
+class ExhaustiveStrategy(SearchStrategy):
+    """Today's path: enumerate, cost-model rank, simulate top-``budget``.
+
+    Kept behind the registry so ``autotune(strategy="exhaustive")`` and
+    the legacy positional call are one code path; semantics (candidate
+    cap, deterministic truncation, skip-on-error) are unchanged.
+    """
+
+    def run(self, task: SearchTask) -> SearchResult:
+        from .autotune import (
+            _enumeration_plan,
+            enumerate_schedules,
+            partition_space_size,
+        )
+
+        n = len(task.program.statements)
+        candidates = enumerate_schedules(
+            task.program, task.max_candidates, splits=task.splits
+        )
+        _, _, dropped = _enumeration_plan(n, task.max_candidates, task.splits)
+        scored: List[Tuple[float, int, Schedule]] = []
+        for i, schedule in enumerate(candidates):
+            try:
+                predicted = task.cost_model.predict(
+                    task.program,
+                    schedule,
+                    task.stats,
+                    task.machine,
+                    model_name=task.model_name,
+                )
+            except Exception:
+                continue
+            scored.append((predicted, i, schedule))
+        scored.sort(key=lambda item: item[:2])
+
+        space = SearchSpace(task.program, split_configs=task.splits)
+        ev = Evaluator(task, space)
+        for predicted, _, schedule in scored:
+            if ev.exhausted():
+                break
+            # Bypass point coordinates: enumerated schedules already
+            # carry names/splits; share the evaluator's budget + trace
+            # machinery by inlining its measure body on the schedule.
+            fingerprint = schedule.fingerprint()
+            if fingerprint in ev._measured:
+                continue
+            entry: Dict[str, object] = {
+                "step": len(ev.trace),
+                "move": "enumerate",
+                "schedule": schedule.name,
+                "regions": [list(r) for r in schedule.regions],
+                "splits": dict(schedule.splits),
+                "par": dict(schedule.par),
+                "predicted": float(predicted),
+            }
+            try:
+                result = task.session.run(
+                    task.program, task.binding, schedule, machine=task.machine
+                )
+                cycles = float(result.metrics.cycles)
+            except Exception as exc:
+                ev._measured[fingerprint] = None
+                entry["status"] = "error"
+                entry["error"] = type(exc).__name__
+                ev.trace.append(entry)
+                continue
+            ev._measured[fingerprint] = cycles
+            ev.evaluations += 1
+            entry["status"] = "ok"
+            entry["cycles"] = cycles
+            ev.trace.append(entry)
+            ev.ranking.append((schedule.name, cycles))
+            if cycles < ev.best_cycles:
+                ev.best_cycles = cycles
+                ev.best = schedule
+        result = _finish(task, space, ev)
+        result.candidates_considered = len(scored)
+        result.partition_space = partition_space_size(n)
+        result.partitions_dropped = dropped
+        return result
+
+
+@register_strategy("beam")
+class BeamStrategy(SearchStrategy):
+    """Cost-model-guided beam search over local moves.
+
+    Exploration is *cheap* (cost-model calls only): starting from the
+    fully-fused and fully-unfused anchors, each generation expands the
+    beam's neighbors and keeps the ``beam_width`` best predicted points.
+    Simulation happens once at the end, spending ``budget`` successful
+    runs on the pool's best predictions — so a 10x-smaller budget than
+    exhaustive enumeration still reaches deep schedules (a 4-region
+    partition of a 22-statement program is ~12 merges from unfused).
+    """
+
+    def run(self, task: SearchTask) -> SearchResult:
+        space = SearchSpace(
+            task.program,
+            split_configs=task.splits,
+            par_configs=task.par_options,
+            order_limit=task.order_limit,
+        )
+        ev = Evaluator(task, space)
+        rounds = task.generations
+        if rounds is None:
+            rounds = space.n + 4  # enough merges to cross the whole space
+
+        def select(pool, width):
+            ordered = sorted(
+                pool.values(), key=lambda item: (item[0], item[2].key)
+            )
+            return [(point, move) for _, move, point in ordered[:width]]
+
+        frontier = [(p, "seed") for p in space.seeds()]
+        pool = _explore(
+            task, space, ev, frontier, select, rounds, task.beam_width
+        )
+        _simulate_pool(task, space, ev, pool)
+        result = _finish(task, space, ev)
+        result.candidates_considered = len(pool)
+        return result
+
+
+@register_strategy("evolutionary")
+class EvolutionaryStrategy(SearchStrategy):
+    """Seeded mutate/select search (``numpy.random.default_rng``).
+
+    The population starts from the two anchors plus random mutants;
+    each generation keeps the best-predicted half and refills with
+    mutations of survivors.  All randomness flows from ``task.seed``, so
+    traces are reproducible; the simulate-top-``budget`` finish matches
+    :class:`BeamStrategy`.
+    """
+
+    def run(self, task: SearchTask) -> SearchResult:
+        space = SearchSpace(
+            task.program,
+            split_configs=task.splits,
+            par_configs=task.par_options,
+            order_limit=task.order_limit,
+        )
+        ev = Evaluator(task, space)
+        rng = np.random.default_rng(task.seed)
+        rounds = task.generations
+        if rounds is None:
+            rounds = max(4, space.n // 2 + 2)
+
+        def mutate(point: SearchPoint) -> Tuple[str, SearchPoint]:
+            options = space.neighbors(point)
+            if not options:
+                return ("seed", point)
+            return options[int(rng.integers(len(options)))]
+
+        def select(pool, width):
+            ordered = sorted(
+                pool.values(), key=lambda item: (item[0], item[2].key)
+            )
+            survivors = [(point, move) for _, move, point in ordered[:width]]
+            mutants = [mutate(point) for point, _ in survivors]
+            return survivors + [(p, m) for m, p in mutants]
+
+        frontier = [(p, "seed") for p in space.seeds()]
+        pool = _explore(
+            task, space, ev, frontier, select, rounds, task.population // 2
+        )
+        _simulate_pool(task, space, ev, pool)
+        result = _finish(task, space, ev)
+        result.candidates_considered = len(pool)
+        return result

@@ -242,6 +242,10 @@ def bench_payload(summary: Dict[str, object]) -> Dict[str, object]:
                     "fill_bytes": r["metrics"].get("fill_bytes", 0),
                     "tokens": r["metrics"]["tokens"],
                     "point_id": r["point_id"],
+                    # Full point record so BENCH payloads double as
+                    # cost-model calibration inputs (the schedule knobs
+                    # are not recoverable from the opaque point_id).
+                    "point": r["point"],
                 },
             }
             for r in summary["results"]

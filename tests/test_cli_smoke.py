@@ -250,6 +250,127 @@ class TestEstimateAutotuneCompile:
         assert "fusion table" in out
 
 
+class TestTune:
+    def test_tune_beam_basic(self, capsys):
+        code = cli_main(
+            ["tune", "--model", "gcn", *SMALL, "--strategy", "beam",
+             "--budget", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy   : beam (seed 0)" in out
+        assert "winner" in out
+        # The winner was simulated during the search, so its recompile is
+        # served from the session's compile cache.
+        assert "cache hit" in out
+
+    def test_tune_trace_out_is_seed_deterministic(self, capsys, tmp_path):
+        traces = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            code = cli_main(
+                ["tune", "--model", "sae", "--nodes", "16", "--strategy",
+                 "evolutionary", "--budget", "2", "--seed", "7",
+                 "--trace-out", str(path)]
+            )
+            assert code == 0
+            traces.append(path.read_bytes())
+        out = capsys.readouterr().out
+        assert "trace      :" in out
+        assert traces[0] == traces[1]
+
+    def test_tune_verify(self, capsys):
+        code = cli_main(
+            ["tune", "--model", "sae", "--nodes", "16", "--budget", "2",
+             "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max |err|" in out
+
+    def test_tune_unknown_strategy_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["tune", "--model", "gcn", *SMALL, "--strategy", "randomly"]
+            )
+
+    def test_tune_calibrate_save_load_cycle(self, capsys, tmp_path):
+        store = tmp_path / "cal.jsonl"
+        assert cli_main(
+            ["sweep", "run", "--quiet", "--models", "sae", "--machines",
+             "rda", "--nodes", "16", "--workers", "2", "--out", str(store)]
+        ) == 0
+        capsys.readouterr()
+        artifact = tmp_path / "costmodel.json"
+        code = cli_main(
+            ["tune", "--model", "sae", "--nodes", "16", "--budget", "2",
+             "--calibrate", str(store), "--cost-model", str(artifact)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "calibrated :" in out and "rmse" in out
+        assert artifact.exists()
+        code = cli_main(
+            ["tune", "--model", "sae", "--nodes", "16", "--budget", "2",
+             "--cost-model", str(artifact)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"loaded from {artifact}" in out
+
+    def test_tune_bad_calibration_file_exits(self, tmp_path):
+        bad = tmp_path / "junk.json"
+        bad.write_text('{"hello": 1}')
+        with pytest.raises(SystemExit, match="calibration failed"):
+            cli_main(
+                ["tune", "--model", "sae", "--nodes", "16", "--calibrate",
+                 str(bad)]
+            )
+
+    def test_tune_help_lists_strategies(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["tune", "--help"])
+        out = " ".join(capsys.readouterr().out.split())
+        for flag in ("--strategy", "--budget", "--seed", "--cost-model",
+                     "--calibrate", "--trace-out"):
+            assert flag in out
+        for strategy in ("beam", "evolutionary", "exhaustive"):
+            assert strategy in out
+
+
+class TestHelpNamesScheduleAxes:
+    """Regression: the sweep help predates PR 5's grid growth; it and the
+    CLI overview must name all six schedule axes and the tune verb."""
+
+    AXES = ("fusion granularity", "dataflow order", "parallelization",
+            "index splitting", "mask folding", "global rewrite")
+
+    def test_cli_overview_names_all_axes_and_tune(self):
+        import repro.cli as cli
+
+        doc = " ".join(cli.__doc__.split())
+        for axis in (*self.AXES[:5], "global-iteration rewrite"):
+            assert axis in doc, axis
+        assert "fuseflow tune" in doc
+
+    def test_sweep_help_names_grid_axes_and_tune(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--help"])
+        out = " ".join(capsys.readouterr().out.split())
+        for axis in ("model", "dataset", "schedule", "machine", "hierarchy",
+                     "splits", "backend"):
+            assert axis in out, axis
+        assert "tune" in out
+
+    def test_sweep_quick_help_points_at_tune(self):
+        from repro.cli import cmd_sweep_quick
+
+        doc = " ".join(cmd_sweep_quick.__doc__.split())
+        for axis in self.AXES:
+            assert axis in doc, axis
+        assert "`tune`" in doc and "sweep run" in doc
+
+
 class TestEntryPoint:
     def test_module_subprocess(self, tmp_path):
         """`python -m repro.cli` works as a real process (console entry)."""

@@ -90,3 +90,63 @@ class TestPruning:
         stats = stats_from_binding(gcn.binding)
         est = estimate_schedule(gcn.program, gcn.schedule("partial"), stats)
         assert roofline_score(est, RDA_MACHINE) > 0
+
+
+class TestAutotuneReporting:
+    """Direct assertions on the autotuner's self-reporting fields."""
+
+    @pytest.fixture(scope="class")
+    def tuned(self, gcn):
+        from repro.core.schedule.autotune import autotune, reset_truncation_warnings
+        from repro.driver.session import Session
+
+        reset_truncation_warnings()
+        stats = stats_from_binding(gcn.binding)
+        with pytest.warns(UserWarning, match="kept"):
+            return autotune(
+                gcn.program,
+                gcn.binding,
+                stats,
+                max_candidates=8,
+                simulate_top=3,
+                session=Session(),
+            )
+
+    def test_ranking_is_measured_cycles_per_simulated_candidate(self, tuned):
+        assert len(tuned.ranking) == tuned.candidates_simulated
+        names = [name for name, _ in tuned.ranking]
+        assert len(set(names)) == len(names)
+        for name, cycles in tuned.ranking:
+            assert isinstance(name, str) and name
+            assert cycles > 0
+        assert tuned.measured_cycles == min(c for _, c in tuned.ranking)
+        assert tuned.best.name in names
+
+    def test_partition_space_is_full_space_not_kept_subset(self, gcn, tuned):
+        from repro.core.schedule.autotune import partition_space_size
+
+        n = len(gcn.program.statements)
+        assert tuned.partition_space == partition_space_size(n) == 2 ** (n - 1)
+        # The cap of 8 kept fewer than the full space; the report says so.
+        assert tuned.partitions_dropped == tuned.partition_space - 8
+        assert tuned.candidates_considered <= 8
+
+    def test_reset_truncation_warnings_rearms_the_warning(self):
+        import warnings as warnings_mod
+
+        from repro.core.schedule.autotune import (
+            contiguous_partitions,
+            reset_truncation_warnings,
+        )
+
+        reset_truncation_warnings()
+        with pytest.warns(UserWarning, match="kept 3 of 64"):
+            contiguous_partitions(7, max_partitions=3)
+        # Same truncation again: the per-process seen-set silences it.
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            contiguous_partitions(7, max_partitions=3)
+        # Reset forgets the seen-set: the identical truncation warns again.
+        reset_truncation_warnings()
+        with pytest.warns(UserWarning, match="kept 3 of 64"):
+            contiguous_partitions(7, max_partitions=3)

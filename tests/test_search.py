@@ -1,0 +1,385 @@
+"""Guided-search tests: exhaustive-parity oracle, seeded determinism,
+cost-model round trips.
+
+The exhaustive enumerate-rank-simulate path is the *oracle*: at small n
+it measures every feasible candidate, so a guided strategy that claims
+parity must land within 1% of its winner while simulating a fraction of
+the candidates.  Determinism is property-tested over seeds (hypothesis):
+the same seed must reproduce the identical ``search_trace``, and every
+schedule any seed visits must validate against the program.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comal.machines import RDA_MACHINE
+from repro.core.heuristic.costmodel import (
+    CalibratedCostModel,
+    CalibrationRecord,
+    CostModelError,
+    HeuristicCostModel,
+)
+from repro.core.heuristic.model import stats_from_binding
+from repro.core.schedule.autotune import autotune
+from repro.core.schedule.schedule import Schedule
+from repro.core.schedule.search import (
+    STRATEGIES,
+    SearchPoint,
+    SearchSpace,
+    get_strategy,
+)
+from repro.driver.session import Session
+from repro.models.gcn import gcn_on_synthetic
+from repro.models.gpt3 import build_gpt3
+from repro.models.graphsage import graphsage_on_synthetic
+from repro.models.sae import build_sae
+
+
+def _bundles():
+    """The BENCH_search model configurations: small-n oracle sizes."""
+    rng = np.random.default_rng(0)
+    return {
+        "gcn": gcn_on_synthetic(nodes=24, density=0.1, seed=0),
+        "graphsage": graphsage_on_synthetic(nodes=20, density=0.15, seed=0),
+        "sae": build_sae(rng.standard_normal((8, 16)), weight_density=0.4, seed=0),
+        "gpt3": build_gpt3(seq_len=16, d_model=8, block=4, n_layers=1),
+    }
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return _bundles()
+
+
+@pytest.fixture(scope="module")
+def tuned(bundles):
+    """Exhaustive + guided results per model, shared across parity tests."""
+    results = {}
+    budgets = {"gcn": 6, "graphsage": 6, "sae": 3, "gpt3": 2}
+    for model, bundle in bundles.items():
+        stats = stats_from_binding(bundle.binding)
+        session = Session(cache_size=1024)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            exhaustive = autotune(
+                bundle.program, bundle.binding, stats, session=session,
+                simulate_top=64, max_candidates=64,
+            )
+        guided = {
+            strategy: autotune(
+                bundle.program, bundle.binding, stats, session=session,
+                strategy=strategy, budget=budgets[model], seed=0,
+            )
+            for strategy in ("beam", "evolutionary")
+        }
+        results[model] = (exhaustive, guided)
+    return results
+
+
+class TestRegistry:
+    def test_registered_strategies(self):
+        assert {"exhaustive", "beam", "evolutionary"} <= set(STRATEGIES)
+
+    def test_get_strategy_unknown_lists_options(self):
+        with pytest.raises(KeyError, match="beam"):
+            get_strategy("no-such-strategy")
+
+    def test_autotune_unknown_strategy_raises(self, bundles):
+        bundle = bundles["sae"]
+        stats = stats_from_binding(bundle.binding)
+        with pytest.raises(KeyError):
+            autotune(bundle.program, bundle.binding, stats, strategy="nope")
+
+
+class TestExhaustiveParity:
+    """The oracle gate: guided winners within 1% of exhaustive, all 4 models."""
+
+    @pytest.mark.parametrize("model", ["gcn", "graphsage", "sae", "gpt3"])
+    def test_winner_cycles_within_1pct(self, tuned, model):
+        exhaustive, guided = tuned[model]
+        for strategy, result in guided.items():
+            assert result.measured_cycles <= exhaustive.measured_cycles * 1.01, (
+                model,
+                strategy,
+                result.measured_cycles,
+                exhaustive.measured_cycles,
+            )
+
+    @pytest.mark.parametrize("model", ["gcn", "graphsage", "sae", "gpt3"])
+    def test_guided_simulates_less(self, tuned, model):
+        exhaustive, guided = tuned[model]
+        for strategy, result in guided.items():
+            assert result.evaluations < exhaustive.evaluations, (model, strategy)
+
+    def test_tuned_schedule_fields(self, tuned):
+        exhaustive, guided = tuned["gcn"]
+        assert exhaustive.strategy == "exhaustive"
+        assert guided["beam"].strategy == "beam"
+        assert guided["evolutionary"].strategy == "evolutionary"
+        for result in (exhaustive, *guided.values()):
+            assert result.evaluations == result.candidates_simulated
+            assert len(result.search_trace) >= result.evaluations
+            assert result.executable is not None
+
+    def test_trace_is_json_safe(self, tuned):
+        _, guided = tuned["gcn"]
+        text = json.dumps(guided["beam"].search_trace)
+        assert json.loads(text) == guided["beam"].search_trace
+
+
+class TestSeededDeterminism:
+    @pytest.fixture(scope="class")
+    def sae(self):
+        rng = np.random.default_rng(0)
+        bundle = build_sae(rng.standard_normal((6, 12)), weight_density=0.5, seed=0)
+        return bundle, stats_from_binding(bundle.binding)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_same_seed_identical_trace(self, sae, seed):
+        bundle, stats = sae
+        runs = [
+            autotune(
+                bundle.program, bundle.binding, stats,
+                session=Session(), strategy="evolutionary", budget=2, seed=seed,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].search_trace == runs[1].search_trace
+        assert runs[0].best.name == runs[1].best.name
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_every_visited_schedule_validates(self, sae, seed):
+        bundle, stats = sae
+        tuned = autotune(
+            bundle.program, bundle.binding, stats,
+            session=Session(), strategy="evolutionary", budget=3, seed=seed,
+        )
+        assert tuned.search_trace
+        for entry in tuned.search_trace:
+            schedule = Schedule(
+                name=entry["schedule"],
+                regions=[list(r) for r in entry["regions"]],
+                splits=dict(entry["splits"]),
+                par=dict(entry["par"]),
+            )
+            schedule.validate(bundle.program)
+
+    def test_beam_same_seed_identical_trace(self, sae):
+        bundle, stats = sae
+        runs = [
+            autotune(
+                bundle.program, bundle.binding, stats,
+                session=Session(), strategy="beam", budget=3, seed=0,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].search_trace == runs[1].search_trace
+
+
+class TestSearchSpace:
+    @pytest.fixture(scope="class")
+    def space(self, bundles):
+        return SearchSpace(
+            bundles["gcn"].program, split_configs=[{"x1": 4}], par_configs=[{"i": 2}]
+        )
+
+    def test_seeds_are_the_two_baselines(self, space):
+        seeds = space.seeds()
+        assert seeds[0].cuts == ()
+        assert seeds[1].cuts == tuple(range(1, space.n))
+
+    def test_neighbors_cover_all_five_moves(self, space):
+        point = SearchPoint(cuts=(2,), order_choice=(0, 0))
+        moves = {move for move, _ in space.neighbors(point)}
+        assert {"merge", "split-region", "bump-split", "toggle-par"} <= moves
+
+    def test_neighbors_are_deterministic(self, space):
+        point = SearchPoint(cuts=(1, 3), order_choice=(0, 0, 0))
+        first = space.neighbors(point)
+        second = space.neighbors(point)
+        assert [(m, p.key) for m, p in first] == [(m, p.key) for m, p in second]
+
+    def test_schedules_materialize_and_validate(self, space, bundles):
+        program = bundles["gcn"].program
+        for _, point in space.neighbors(SearchPoint(cuts=(), order_choice=(0,))):
+            space.schedule_for(point).validate(program)
+
+    def test_split_and_par_configs_applied(self, space):
+        point = SearchPoint(cuts=(), order_choice=(0,), split_idx=1, par_idx=1)
+        schedule = space.schedule_for(point)
+        assert schedule.splits == {"x1": 4}
+        assert schedule.par == {"i": 2}
+
+
+class TestCostModelRoundTrip:
+    @pytest.fixture(scope="class")
+    def records(self, bundles):
+        """Ground truth from an exhaustive run's measured trace (gcn)."""
+        bundle = bundles["gcn"]
+        stats = stats_from_binding(bundle.binding)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            tuned = autotune(
+                bundle.program, bundle.binding, stats,
+                session=Session(cache_size=1024),
+                simulate_top=32, max_candidates=32,
+            )
+        out = []
+        for entry in tuned.search_trace:
+            if entry["status"] != "ok":
+                continue
+            out.append(
+                CalibrationRecord(
+                    model_name="gcn",
+                    program=bundle.program,
+                    schedule=Schedule(
+                        name=entry["schedule"],
+                        regions=[list(r) for r in entry["regions"]],
+                        splits=dict(entry["splits"]),
+                        par=dict(entry["par"]),
+                    ),
+                    stats=stats,
+                    machine=RDA_MACHINE,
+                    cycles=entry["cycles"],
+                )
+            )
+        assert len(out) >= 10
+        return out
+
+    def test_fit_save_load_bit_stable(self, records, tmp_path):
+        model = CalibratedCostModel().fit(records)
+        first = tmp_path / "cm1.json"
+        second = tmp_path / "cm2.json"
+        model.save(str(first))
+        CalibratedCostModel.load(str(first)).save(str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_monotone_improvement_vs_raw_heuristic(self, records):
+        """Calibration never fits worse than the raw score predictor."""
+        model = CalibratedCostModel().fit(records)
+        for name, terms in model.terms.items():
+            assert terms.rmse <= terms.raw_rmse + 1e-12, (name, terms)
+        assert model.terms["gcn"].rmse < model.terms["gcn"].raw_rmse
+
+    def test_loaded_model_predicts_identically(self, records, tmp_path):
+        bundle_record = records[0]
+        model = CalibratedCostModel().fit(records)
+        path = tmp_path / "cm.json"
+        model.save(str(path))
+        loaded = CalibratedCostModel.load(str(path))
+        args = (
+            bundle_record.program,
+            bundle_record.schedule,
+            bundle_record.stats,
+            bundle_record.machine,
+        )
+        assert model.predict(*args, model_name="gcn") == loaded.predict(
+            *args, model_name="gcn"
+        )
+
+    def test_prediction_clamped_to_roofline(self, records):
+        """Predictions never undershoot the analytical lower bound."""
+        model = CalibratedCostModel().fit(records)
+        base = HeuristicCostModel()
+        for record in records[:5]:
+            args = (
+                record.program,
+                record.schedule,
+                record.stats,
+                record.machine,
+            )
+            assert model.predict(*args, model_name="gcn") >= base.predict(
+                *args
+            ) * (1 - 1e-9)
+
+    def test_unknown_model_falls_back_to_global(self, records):
+        model = CalibratedCostModel().fit(records)
+        record = records[0]
+        value = model.predict(
+            record.program, record.schedule, record.stats, record.machine,
+            model_name="never-seen",
+        )
+        assert value > 0
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(CostModelError):
+            CalibratedCostModel().fit([])
+
+    def test_load_rejects_non_artifact(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(CostModelError, match="not a cost-model"):
+            CalibratedCostModel.load(str(path))
+
+    def test_load_rejects_wrong_version(self, records, tmp_path):
+        model = CalibratedCostModel().fit(records)
+        path = tmp_path / "cm.json"
+        model.save(str(path))
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CostModelError, match="version"):
+            CalibratedCostModel.load(str(path))
+
+
+class TestCalibrationFromSweepArtifacts:
+    def test_fit_from_resultstore_jsonl(self, tmp_path):
+        from repro.sweep import SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            name="cal", models=["sae"], schedules=["unfused", "partial", "full"],
+            machines=["rda"], model_args={"nodes": 12},
+        )
+        store = tmp_path / "cal.jsonl"
+        outcome = run_sweep(spec, store_path=str(store), workers=1)
+        assert outcome.failed == 0
+        model = CalibratedCostModel().fit_from_store(str(store))
+        assert "sae" in model.terms and "*" in model.terms
+        assert model.terms["sae"].records == 3
+
+    def test_fit_from_spec_json_runs_in_process(self, tmp_path):
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec(
+            name="cal", models=["sae"], schedules=["unfused", "full"],
+            machines=["rda"], model_args={"nodes": 12},
+        )
+        path = tmp_path / "spec.json"
+        spec.save(str(path))
+        model = CalibratedCostModel().fit_from_store(str(path))
+        assert model.terms["sae"].records == 2
+
+    def test_calibrated_search_end_to_end(self, tmp_path, bundles):
+        """A calibrated model drives autotune and still reaches parity."""
+        bundle = bundles["sae"]
+        stats = stats_from_binding(bundle.binding)
+        session = Session(cache_size=1024)
+        exhaustive = autotune(
+            bundle.program, bundle.binding, stats, session=session,
+            simulate_top=32, max_candidates=32,
+        )
+        records = [
+            CalibrationRecord(
+                model_name="sae", program=bundle.program,
+                schedule=Schedule(
+                    name=e["schedule"], regions=[list(r) for r in e["regions"]],
+                    splits=dict(e["splits"]), par=dict(e["par"]),
+                ),
+                stats=stats, machine=RDA_MACHINE, cycles=e["cycles"],
+            )
+            for e in exhaustive.search_trace if e["status"] == "ok"
+        ]
+        calibrated = CalibratedCostModel().fit(records)
+        tuned = autotune(
+            bundle.program, bundle.binding, stats, session=session,
+            strategy="beam", budget=3, seed=0,
+            cost_model=calibrated, model_name="sae",
+        )
+        assert tuned.measured_cycles <= exhaustive.measured_cycles * 1.01

@@ -368,10 +368,42 @@ class TestAutotuneSplits:
         with pytest.warns(UserWarning, match="kept 5 of 512"):
             kept = contiguous_partitions(10, max_partitions=5)
         assert len(kept) == 5
-        # Deterministic: fewest boundaries first, lexicographic cuts.
+        # Deterministic: boundary-count layers taken alternately from the
+        # coarse and fine ends, lexicographic cuts within each layer.
         again = contiguous_partitions(10, max_partitions=5)
         assert kept == again
         assert kept[0] == [list(range(10))]  # fully fused survives the cap
+
+    def test_both_baselines_survive_any_cap(self):
+        """Any cap >= 2 keeps the fully-fused AND fully-unfused partitions.
+
+        Regression: the pre-balanced order (fewest boundaries first)
+        enumerated all C(n-1, k) single-cut partitions before the unfused
+        one, so a tight cap silently dropped the only always-feasible
+        fallback — exactly on programs where coarse fusion is infeasible.
+        """
+        for n in (4, 10, 22):
+            for cap in (2, 3, 5, 8):
+                kept = contiguous_partitions(n, max_partitions=cap)
+                assert kept[0] == [list(range(n))], (n, cap)
+                assert kept[1] == [[i] for i in range(n)], (n, cap)
+
+    def test_baselines_survive_split_axis_budget_division(self, gcn_bundle):
+        """enumerate_schedules divides max_candidates across the split
+        axis; both baselines must still appear among the partitions."""
+        configs = [{"x1": 4}, {"x1": 8}, {"x2": 4}]
+        n = len(gcn_bundle.program.statements)
+        # 4 configs (unsplit + 3) under a budget of 8 leaves only 2
+        # partitions — precisely the regime that used to lose unfused.
+        schedules = enumerate_schedules(
+            gcn_bundle.program, max_candidates=8, splits=configs
+        )
+        regions = {tuple(map(tuple, s.regions)) for s in schedules}
+        assert tuple(tuple(r) for r in [list(range(n))]) in regions
+        assert tuple((i,) for i in range(n)) in regions
+        names = {s.name for s in schedules}
+        assert "auto-fully-fused" in names
+        assert "auto-unfused" in names
 
     def test_truncation_warns_once_per_shape(self, recwarn):
         reset_truncation_warnings()
