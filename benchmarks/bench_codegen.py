@@ -13,7 +13,10 @@ result memo off so every repetition pays the full functional execution:
 ``codegen``
     One specialized, ``compile()``-ed Python kernel per fusion region
     (see :mod:`repro.backend.codegen`): node dispatch, stream plumbing,
-    and config lookups are folded away at emit time.
+    and config lookups are folded away at emit time.  The emission tier
+    (``FUSEFLOW_CODEGEN_TIER``, default ``columnar``) emits over the
+    numpy columns backing each stream; blocked/short regions delegate to
+    the token tier at run time (``token_dispatch_regions`` per row).
 
 Region kernels are emitted and compiled at ``Session.compile`` time, so
 the per-execution numbers are pure run time; emit + compile cost is
@@ -44,6 +47,7 @@ from typing import Dict, List
 sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.backend import artifact_for
+from repro.backend.codegen import codegen_cache_info, codegen_tier
 from repro.comal.machines import MACHINES
 from repro.driver import Session
 from repro.sweep import SweepPoint, build_bundle
@@ -117,15 +121,27 @@ def run_benchmark(repeats: int = 7) -> Dict[str, object]:
                 else:
                     assert exe(bundle.binding).metrics.tokens == tokens
                 if backend == "codegen":
-                    loc = emit_ms = 0
+                    loc = emit_ms = regions = 0
                     for region in exe.regions:
                         if region.graph is None:
                             continue
+                        regions += 1
                         art = artifact_for(region.graph)
                         loc += art.loc
                         emit_ms += (art.emit_seconds + art.compile_seconds) * 1e3
                     row["codegen_loc"] = loc
                     row["codegen_emit_ms"] = round(emit_ms, 4)
+                    # Which tier actually ran: the columnar emission tier
+                    # adaptively delegates blocked/short regions to the
+                    # token tier (see repro/backend/codegen.py).
+                    before = codegen_cache_info()["token_dispatches"]
+                    exe(bundle.binding)
+                    dispatched = (
+                        codegen_cache_info()["token_dispatches"] - before
+                    )
+                    row["tier"] = codegen_tier()
+                    row["regions"] = regions
+                    row["token_dispatch_regions"] = dispatched
             row["tokens"] = tokens
             row["speedup_vs_interp"] = round(
                 row["interp_ms"] / row["codegen_ms"], 3
@@ -134,23 +150,32 @@ def run_benchmark(repeats: int = 7) -> Dict[str, object]:
                 row["columnar_ms"] / row["codegen_ms"], 3
             )
             rows.append(row)
-    gpt3 = next(
-        r for r in rows if r["model"] == "gpt3" and r["scale"] == "golden"
-    )
+    golden = {
+        r["model"]: r for r in rows if r["scale"] == "golden"
+    }
+    gpt3 = golden["gpt3"]
+    headline = {
+        # The CI gates: generated kernels vs the default columnar
+        # interpreter, per golden model (gpt3's hot path kept at >=2x,
+        # gcn/graphsage at >=1.0 now that the columnar emission tier
+        # vectorizes the scanner expansion).
+        "tier": codegen_tier(),
+        "gpt3_codegen_speedup": gpt3["speedup_vs_columnar"],
+        "gpt3_columnar_ms": gpt3["columnar_ms"],
+        "gpt3_codegen_ms": gpt3["codegen_ms"],
+        "gpt3_codegen_loc": gpt3["codegen_loc"],
+    }
+    for model in ("gcn", "graphsage", "sae"):
+        headline[f"{model}_codegen_speedup"] = (
+            golden[model]["speedup_vs_columnar"]
+        )
     return {
         "name": "codegen_backend",
         "granularity": GRANULARITY,
         "machine": MACHINE_NAME,
         "backends": list(BACKENDS),
         "rows": rows,
-        "headline": {
-            # The CI gate: generated kernels vs the default columnar
-            # interpreter on the gpt3 golden configuration's hot path.
-            "gpt3_codegen_speedup": gpt3["speedup_vs_columnar"],
-            "gpt3_columnar_ms": gpt3["columnar_ms"],
-            "gpt3_codegen_ms": gpt3["codegen_ms"],
-            "gpt3_codegen_loc": gpt3["codegen_loc"],
-        },
+        "headline": headline,
     }
 
 
@@ -158,21 +183,25 @@ def render(payload: Dict[str, object]) -> str:
     lines = [
         f"{'model':10s} {'scale':6s} {'interp ms':>10s} {'columnar ms':>12s} "
         f"{'codegen ms':>11s} {'vs col':>7s} {'vs interp':>10s} "
-        f"{'LoC':>6s} {'emit ms':>8s}"
+        f"{'LoC':>6s} {'emit ms':>8s} {'tier':>14s}"
     ]
     for r in payload["rows"]:
+        tier = r["tier"]
+        if r["token_dispatch_regions"]:
+            tier += f" ({r['token_dispatch_regions']}/{r['regions']} tok)"
         lines.append(
             f"{r['model']:10s} {r['scale']:6s} {r['interp_ms']:10.3f} "
             f"{r['columnar_ms']:12.3f} {r['codegen_ms']:11.3f} "
             f"{r['speedup_vs_columnar']:7.2f} {r['speedup_vs_interp']:10.2f} "
-            f"{r['codegen_loc']:6d} {r['codegen_emit_ms']:8.2f}"
+            f"{r['codegen_loc']:6d} {r['codegen_emit_ms']:8.2f} {tier:>14s}"
         )
     head = payload["headline"]
     lines.append(
         f"\ngpt3 golden hot path: codegen {head['gpt3_codegen_ms']:.3f} ms vs "
         f"columnar {head['gpt3_columnar_ms']:.3f} ms = "
         f"{head['gpt3_codegen_speedup']:.2f}x "
-        f"({head['gpt3_codegen_loc']} emitted LoC)"
+        f"({head['gpt3_codegen_loc']} emitted LoC, "
+        f"{head['tier']} tier)"
     )
     return "\n".join(lines)
 
@@ -195,15 +224,23 @@ def test_codegen_speedup_floor(payload):
 
 
 def test_codegen_beats_interp_everywhere(payload):
-    """Generated kernels beat the per-token interpreter they specialize.
-
-    (The *columnar* interpreter can still win on models whose streams are
-    long enough for numpy vectorization to dominate — that is why it stays
-    the default; the headline gate only covers the gpt3 hot path, where
-    kernel specialization wins.)
-    """
+    """Generated kernels beat the per-token interpreter they specialize."""
     for row in payload["rows"]:
         assert row["speedup_vs_interp"] > 1.0, render(payload)
+
+
+def test_codegen_beats_columnar_per_model(payload):
+    """Acceptance: the columnar emission tier wins on every model.
+
+    gcn and graphsage flip above 1.0x once scanner expansion is emitted
+    as vectorized CSR gathers; sae is timed-engine-dominated (~2 ms wall
+    for a ~0.2 ms functional pass) so its floor leaves noise margin.
+    """
+    head = payload["headline"]
+    assert head["gcn_codegen_speedup"] >= 1.0, render(payload)
+    assert head["graphsage_codegen_speedup"] >= 1.0, render(payload)
+    assert head["sae_codegen_speedup"] >= 0.95, render(payload)
+    assert head["gpt3_codegen_speedup"] >= 2.0, render(payload)
 
 
 def test_no_region_fell_back(payload):

@@ -296,25 +296,57 @@ def cmd_simulate(args) -> int:
         )
         if exe.diagnostics.backend == "codegen":
             from .backend import codegen_cache_info
+            from .backend.codegen import cached_artifacts
 
             print()
-            print("codegen backend per region:")
-            print(f"{'region':24s} {'LoC':>6s} {'compile':>10s}  status")
-            for diag in exe.diagnostics.regions:
-                if diag.codegen_fallback:
-                    status = f"fallback: {diag.codegen_fallback}"
-                else:
-                    status = "cached code" if diag.codegen_cached else "compiled"
-                print(
-                    f"{diag.name:24s} {diag.codegen_loc:6d} "
-                    f"{diag.codegen_seconds * 1e3:8.2f}ms  {status}"
-                )
+            print("codegen backend per region (emit cost vs amortization):")
+            print(
+                f"{'region':24s} {'tier':>8s} {'LoC':>6s} {'emit':>10s} "
+                f"{'runs':>5s} {'run ms':>8s} {'emit/run':>9s}  status"
+            )
+            diags = {diag.name: diag for diag in exe.diagnostics.regions}
+            for region in exe.regions:
+                if region.graph is None:
+                    continue
+                diag = diags.get(region.graph.name)
+                fallback = diag.codegen_fallback if diag else ""
+                # One row per emitted tier: with adaptive dispatch a
+                # region's runs can land on the token tier even though
+                # the columnar tier was emitted (blocked/short streams).
+                arts = cached_artifacts(region.graph)
+                for tier in sorted(arts):
+                    art = arts[tier]
+                    if art.fn is None and not fallback:
+                        continue
+                    emit_ms = (art.emit_seconds + art.compile_seconds) * 1e3
+                    if art.runs:
+                        run_ms = art.run_seconds * 1e3 / art.runs
+                        amort = f"{emit_ms / art.runs:7.2f}ms"
+                        status = (
+                            "amortized" if emit_ms < art.run_seconds * 1e3
+                            else "paying off"
+                        )
+                        run_col = f"{run_ms:8.3f}"
+                    else:
+                        amort = f"{'-':>9s}"
+                        run_col = f"{'-':>8s}"
+                        status = "unused tier"
+                    if fallback:
+                        status = f"fallback: {fallback}"
+                    elif art.code_cached:
+                        status += ", cached code"
+                    print(
+                        f"{region.graph.name:24s} {tier:>8s} {art.loc:6d} "
+                        f"{emit_ms:8.2f}ms {art.runs:5d} {run_col} "
+                        f"{amort}  {status}"
+                    )
             info = codegen_cache_info()
             print(
                 f"artifact cache: {info['artifact_hits']} hit(s), "
                 f"{info['artifact_misses']} miss(es); source cache: "
                 f"{info['code_hits']} hit(s), {info['code_misses']} "
-                f"miss(es); {info['fallbacks']} region fallback(s)"
+                f"miss(es); {info['fallbacks']} region fallback(s); "
+                f"{info['token_dispatches']} adaptive token dispatch(es)"
             )
     return 0
 
@@ -605,6 +637,9 @@ def cmd_tune(args) -> int:
         return 1
     print(f"model      : {bundle.name}")
     print(f"strategy   : {tuned.strategy} (seed {args.seed})")
+    if tuned.search_trace:
+        print(f"backend    : {tuned.search_trace[0]['backend']} "
+              f"(simulation backend; recorded per trace step)")
     print(f"evaluated  : {tuned.evaluations} simulation(s) of "
           f"{tuned.candidates_considered} candidate point(s) "
           f"(budget {args.budget})")

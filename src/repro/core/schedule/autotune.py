@@ -265,6 +265,7 @@ def autotune(
     seed: int = 0,
     par_options: Optional[Sequence[Mapping[str, int]]] = None,
     model_name: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> TunedSchedule:
     """Pick the best schedule via guided search + simulation.
 
@@ -305,9 +306,21 @@ def autotune(
     lands in :attr:`TunedSchedule.partitions_dropped` (and
     ``contiguous_partitions`` warns); the kept subset is deterministic and
     always retains the fully-fused and fully-unfused baselines.
+
+    ``backend`` selects the execution backend candidate simulations run on
+    (``"interp"``/``"columnar"``/``"codegen"`` — all bit-exact, so the
+    winner is backend-independent but the search wall time is not); it is
+    threaded into the default session and recorded in every
+    ``search_trace`` entry.  Incompatible with an explicit ``session``,
+    which fixes its own backend.
     """
     if session is None:
-        session = Session(machine=machine or RDA_MACHINE)
+        session = Session(machine=machine or RDA_MACHINE, backend=backend)
+    elif backend is not None:
+        raise ValueError(
+            "autotune(backend=...) conflicts with an explicit session; "
+            "construct the Session with backend=... instead"
+        )
     machine = machine or session.machine
     if candidates:
         # Explicit candidate lists bypass the search space: rank and

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...backend.base import resolve_backend_name
 from ...comal.machines import Machine
 from ...driver.session import Session
 from ..einsum.ast import EinsumProgram
@@ -334,6 +335,11 @@ class Evaluator:
     def __init__(self, task: SearchTask, space: SearchSpace) -> None:
         self.task = task
         self.space = space
+        # Resolved execution backend the session simulates on; recorded
+        # per trace entry so saved traces state what produced the cycles.
+        self.backend = resolve_backend_name(
+            task.session.backend, task.session.columnar
+        )
         self.trace: List[Dict[str, object]] = []
         self.ranking: List[Tuple[str, float]] = []
         self.evaluations = 0
@@ -371,6 +377,7 @@ class Evaluator:
             "splits": dict(schedule.splits),
             "par": dict(schedule.par),
             "predicted": float(predicted),
+            "backend": self.backend,
         }
         try:
             result = self.task.session.run(
@@ -535,6 +542,7 @@ class ExhaustiveStrategy(SearchStrategy):
                 "splits": dict(schedule.splits),
                 "par": dict(schedule.par),
                 "predicted": float(predicted),
+                "backend": ev.backend,
             }
             try:
                 result = task.session.run(

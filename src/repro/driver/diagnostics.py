@@ -53,6 +53,9 @@ class RegionDiagnostics:
     codegen_seconds: float = 0.0
     codegen_cached: bool = False
     codegen_fallback: str = ""
+    # Emission tier the region's kernel was generated with ("columnar"
+    # default, "token" when the columnar emitter could not cover a node).
+    codegen_tier: str = ""
 
     @property
     def order_fallbacks(self) -> int:
@@ -125,8 +128,9 @@ class CompileDiagnostics:
             if region.codegen_fallback:
                 bits.append(f"codegen fallback: {region.codegen_fallback}")
             elif region.codegen_loc:
+                tier = f" {region.codegen_tier}" if region.codegen_tier else ""
                 bits.append(
-                    f"codegen {region.codegen_loc} LoC in "
+                    f"codegen{tier} {region.codegen_loc} LoC in "
                     f"{region.codegen_seconds * 1e3:.2f} ms"
                     + (" (cached)" if region.codegen_cached else "")
                 )

@@ -360,6 +360,13 @@ class Session:
             if region.graph is None:
                 continue
             artifact = artifact_for(region.graph)
+            if artifact.fn is None and artifact.tier == "columnar":
+                # Mirror the run-time tier chain: a region the columnar
+                # emitter cannot cover retries on the token tier before
+                # falling back to the interpreter.
+                token = artifact_for(region.graph, "token")
+                if token.fn is not None:
+                    artifact = token
             diag = by_name.get(region.graph.name)
             if diag is None:
                 continue
@@ -369,6 +376,7 @@ class Session:
             )
             diag.codegen_cached = artifact.code_cached
             diag.codegen_fallback = artifact.fallback
+            diag.codegen_tier = artifact.tier if artifact.fn is not None else ""
 
     # ------------------------------------------------------------------
     # Convenience execution

@@ -373,6 +373,162 @@ class TestKernelErrors:
 
 
 # ----------------------------------------------------------------------
+# Emission tiers (token vs columnar) and adaptive dispatch
+# ----------------------------------------------------------------------
+
+
+class TestEmissionTiers:
+    def test_tier_selector_env(self, monkeypatch):
+        from repro.backend.codegen import codegen_tier
+
+        monkeypatch.delenv("FUSEFLOW_CODEGEN_TIER", raising=False)
+        assert codegen_tier() == "columnar"
+        monkeypatch.setenv("FUSEFLOW_CODEGEN_TIER", "token")
+        assert codegen_tier() == "token"
+        monkeypatch.setenv("FUSEFLOW_CODEGEN_TIER", "simd")
+        with pytest.raises(ValueError):
+            codegen_tier()
+
+    def test_tiers_cached_independently(self, clean_env):
+        from repro.backend.codegen import cached_artifacts
+
+        clear_codegen_caches()
+        program, _ = _program_and_binding()
+        exe = Session(machine=RDA_MACHINE, backend="codegen").compile(program)
+        graph = exe.regions[0].graph
+        col = artifact_for(graph, "columnar")
+        tok = artifact_for(graph, "token")
+        assert col.tier == "columnar"
+        assert tok.tier == "token"
+        assert col is not tok
+        assert col.sha != tok.sha
+        # Stable per (graph, tier): repeated lookups are cache hits.
+        assert col is artifact_for(graph, "columnar")
+        assert tok is artifact_for(graph, "token")
+        assert cached_artifacts(graph) == {"columnar": col, "token": tok}
+
+    def test_unknown_tier_rejected(self, clean_env):
+        program, _ = _program_and_binding()
+        exe = Session(machine=RDA_MACHINE, backend="codegen").compile(program)
+        with pytest.raises(ValueError, match="unknown codegen tier"):
+            artifact_for(exe.regions[0].graph, "simd")
+
+    def test_both_tiers_match_the_interpreter(self, clean_env, monkeypatch):
+        # Forced columnar (cutoff 0 disables adaptive dispatch) and forced
+        # token both reproduce the columnar interpreter exactly.
+        program, binding = _program_and_binding()
+        exe = Session(machine=RDA_MACHINE, backend="codegen").compile(program)
+        graph = exe.regions[0].graph
+        want = run_functional(
+            graph, binding, columnar=True, cache=False
+        )
+        for tier, cutoff in (("columnar", "0"), ("token", "0")):
+            monkeypatch.setenv("FUSEFLOW_CODEGEN_TIER", tier)
+            monkeypatch.setenv("FUSEFLOW_CODEGEN_SMALL_CUTOFF", cutoff)
+            clear_codegen_caches()
+            have = run_functional(
+                graph, binding, backend="codegen", cache=False
+            )
+            for key in want.streams:
+                assert streams_equal(have.streams[key], want.streams[key]), (
+                    tier,
+                    key,
+                )
+            for node_id, stats in want.stats.items():
+                assert have.stats[node_id].tokens_out == stats.tokens_out, tier
+
+    def test_unsupported_node_bridges_through_token_emitter(
+        self, clean_env, monkeypatch
+    ):
+        # Deleting one _cemit_ handler must not fall the region back to
+        # the interpreter: the node rides the per-node token bridge
+        # (to_tokens -> token-emitter body -> from_tokens) and the kernel
+        # stays bit-exact.
+        from repro.backend.codegen import _ColumnarEmitter
+
+        monkeypatch.delattr(_ColumnarEmitter, "_cemit_alu")
+        clear_codegen_caches()
+        program, binding = _program_and_binding()
+        exe = Session(machine=RDA_MACHINE, backend="codegen").compile(program)
+        graph = exe.regions[0].graph
+        artifact = artifact_for(graph, "columnar")
+        assert artifact.fallback == ""
+        assert ".to_tokens()" in artifact.source
+        assert "_TS.from_tokens(" in artifact.source
+        want = run_functional(graph, binding, columnar=True, cache=False)
+        monkeypatch.setenv("FUSEFLOW_CODEGEN_SMALL_CUTOFF", "0")
+        have = run_functional(graph, binding, backend="codegen", cache=False)
+        for key in want.streams:
+            assert streams_equal(have.streams[key], want.streams[key]), key
+        for node_id, stats in want.stats.items():
+            assert have.stats[node_id].tokens_in == stats.tokens_in
+            assert have.stats[node_id].tokens_out == stats.tokens_out
+            assert have.stats[node_id].ops == stats.ops
+        clear_codegen_caches()
+
+    def test_small_streams_dispatch_to_token_tier(self, clean_env, monkeypatch):
+        monkeypatch.setenv("FUSEFLOW_CODEGEN_SMALL_CUTOFF", str(10**9))
+        clear_codegen_caches()
+        program, binding = _program_and_binding()
+        exe = Session(machine=RDA_MACHINE, backend="codegen").compile(program)
+        graph = exe.regions[0].graph
+        before = codegen_cache_info()["token_dispatches"]
+        have = run_functional(graph, binding, backend="codegen", cache=False)
+        assert codegen_cache_info()["token_dispatches"] == before + 1
+        want = run_functional(graph, binding, columnar=True, cache=False)
+        for key in want.streams:
+            assert streams_equal(have.streams[key], want.streams[key]), key
+
+    def test_probe_flags_blocked_payloads(self):
+        from repro.backend.codegen import RegionArtifact, _probe_size
+
+        artifact = RegionArtifact(
+            region="r", tier="columnar", probe=("A",), probe_base=3
+        )
+
+        class _T:
+            pass
+
+        flat = _T()
+        flat.values = np.zeros(7)
+        assert _probe_size(artifact, {"A": flat}) == (10, False)
+        blocked = _T()
+        blocked.values = np.zeros((4, 2, 2))
+        assert _probe_size(artifact, {"A": blocked}) == (19, True)
+        # Unbound probe tensors contribute nothing (and do not raise).
+        assert _probe_size(artifact, {}) == (3, False)
+
+
+# ----------------------------------------------------------------------
+# Bounded linecache registration
+# ----------------------------------------------------------------------
+
+
+class TestLinecacheBounds:
+    def test_sources_unregister_when_graph_collected(self, clean_env):
+        import gc
+        import linecache
+
+        clear_codegen_caches()
+        program, _ = _program_and_binding()
+        session = Session(machine=RDA_MACHINE, backend="codegen")
+        exe = session.compile(program)
+        graph = exe.regions[0].graph
+        artifact = artifact_for(graph)
+        filename = f"<fuseflow-codegen {graph.name} {artifact.sha[:12]}>"
+        assert linecache.getline(filename, 1)  # source is registered
+        assert codegen_cache_info()["retained_sources"] >= 1
+        # Drop every strong reference to the compiled program (the session
+        # compile cache holds the graphs alive) and collect.
+        del exe, graph, artifact, session
+        gc.collect()
+        info = codegen_cache_info()  # drains pending finalizer releases
+        assert info["retained_sources"] == 0
+        assert info["code_files"] == 0
+        assert not linecache.getline(filename, 1)
+
+
+# ----------------------------------------------------------------------
 # Public API docstring audit
 # ----------------------------------------------------------------------
 

@@ -135,6 +135,37 @@ def test_end_to_end_metrics_and_traffic_match(model, hierarchy):
         ), f"{model}/{hierarchy} tensor {name} diverged"
 
 
+@pytest.mark.parametrize("model", sorted(POINTS))
+def test_columnar_tier_forced_matches(model, monkeypatch):
+    """The columnar emission tier is bit-exact on its own.
+
+    ``FUSEFLOW_CODEGEN_SMALL_CUTOFF=0`` disables adaptive token-tier
+    dispatch, so every region runs the columnar kernels — a divergence
+    cannot hide behind a dispatch to the (independently tested) token
+    tier.  gpt3's blocked payloads exercise the per-node ``objs`` escape
+    hatch on the same path.
+    """
+    monkeypatch.setenv("FUSEFLOW_CODEGEN_SMALL_CUTOFF", "0")
+    monkeypatch.delenv("FUSEFLOW_CODEGEN_TIER", raising=False)
+    bundle = build_bundle(SweepPoint.make(model, model_args=POINTS[model]))
+    res = {}
+    for backend in ("columnar", "codegen"):
+        sess = Session(
+            machine=RDA_MACHINE, backend=backend, sim_cache=False
+        )
+        exe = sess.compile(bundle.program, bundle.schedule("partial"))
+        res[backend] = exe(bundle.binding)
+    columnar, codegen = res["columnar"].metrics, res["codegen"].metrics
+    assert codegen.flops == columnar.flops
+    assert codegen.tokens == columnar.tokens
+    assert codegen.traffic_by_level() == columnar.traffic_by_level()
+    assert codegen.cycles == pytest.approx(columnar.cycles, rel=1e-9)
+    for name, tensor in res["columnar"].tensors.items():
+        assert np.array_equal(
+            tensor.to_dense(), res["codegen"].tensors[name].to_dense()
+        ), f"{model} tensor {name} diverged under the forced columnar tier"
+
+
 # ----------------------------------------------------------------------
 # Hypothesis round-trips: random single-region graphs
 # ----------------------------------------------------------------------

@@ -651,6 +651,105 @@ class TestServeDrain:
             srv.server_close()
 
 
+class TestCodegenCompileFaults:
+    """Artifact-cache consistency when a codegen compile is interrupted.
+
+    The satellite contract: a fault injected at the ``compile`` site
+    while ``backend="codegen"`` must leave no half-registered source in
+    the sha256 code cache — the retry compiles cleanly and every
+    registered source stays accounted for (``code_files`` matches the
+    cache's linecache registrations, retained shas have live owners).
+    """
+
+    def _program_binding(self):
+        import numpy as np
+
+        from repro.core.einsum.parser import parse_program
+        from repro.ftree import SparseTensor, csr, dense
+
+        program = parse_program(
+            "tensor A(4, 5): csr\n"
+            "tensor X(5, 3): dense\n"
+            "T(i, j) = A(i, k) * X(k, j)"
+        )
+        rng = np.random.default_rng(7)
+        a = rng.random((4, 5)) * (rng.random((4, 5)) < 0.5)
+        binding = {
+            "A": SparseTensor.from_dense(a, csr(), "A"),
+            "X": SparseTensor.from_dense(rng.random((5, 3)), dense(2), "X"),
+        }
+        return program, binding
+
+    def test_interrupted_compile_leaves_caches_consistent(self):
+        from repro.backend.codegen import (
+            clear_codegen_caches,
+            codegen_cache_info,
+        )
+        from repro.comal.machines import RDA_MACHINE
+        from repro.driver import Session
+
+        clear_codegen_caches()
+        program, binding = self._program_binding()
+        session = Session(machine=RDA_MACHINE, backend="codegen")
+        with injected_faults("compile:raise@nth=1"):
+            with pytest.raises(InjectedFault):
+                session.compile(program)
+            # Nothing was emitted for the aborted compile: no orphaned
+            # sha256 entries, no dangling linecache registrations.
+            info = codegen_cache_info()
+            assert info["retained_sources"] == 0
+            assert info["code_files"] == 0
+            # The retry (same session, same plan — the fault was one-shot)
+            # compiles and runs.
+            exe = session.compile(program)
+        result = exe(binding)
+        assert result.metrics.tokens > 0
+        info = codegen_cache_info()
+        # Every cached code object is linecache-registered exactly once
+        # and every retained source backs a live artifact.
+        assert info["code_files"] == info["code_entries"]
+        assert info["retained_sources"] == info["code_entries"]
+        assert info["fallbacks"] == 0
+
+    def test_interrupted_emit_retries_cleanly(self, monkeypatch):
+        # Deeper than the compile-site fault: die *inside* artifact
+        # emission (after source generation, before the artifact is
+        # retained) and verify the retry re-emits without double
+        # registration or a stale half-artifact.
+        import repro.backend.codegen as cg
+
+        clear = cg.clear_codegen_caches
+        clear()
+        program, binding = self._program_binding()
+        from repro.comal.machines import RDA_MACHINE
+        from repro.driver import Session
+
+        real = cg._compile_artifact
+        calls = {"n": 0}
+
+        def flaky(graph, order, tier):
+            calls["n"] += 1
+            artifact = real(graph, order, tier)
+            if calls["n"] == 1:
+                raise InjectedFault("codegen.emit", graph.name)
+            return artifact
+
+        monkeypatch.setattr(cg, "_compile_artifact", flaky)
+        session = Session(machine=RDA_MACHINE, backend="codegen")
+        with pytest.raises(InjectedFault):
+            session.compile(program)
+        # The aborted emit compiled a code object but never retained it:
+        # the artifact cache must not serve a half-registered entry.
+        info = cg.codegen_cache_info()
+        assert info["retained_sources"] == 0
+        exe = session.compile(program)
+        result = exe(binding)
+        assert result.metrics.tokens > 0
+        info = cg.codegen_cache_info()
+        assert info["code_files"] == info["code_entries"]
+        assert info["retained_sources"] == info["code_entries"]
+
+
 class TestServeStatsSurface:
     def test_stats_reports_reliability_fields(self, hardened_server):
         _post_raw(hardened_server, "/v1/compile", SMALL)
